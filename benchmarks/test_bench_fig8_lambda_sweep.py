@@ -1,0 +1,56 @@
+"""Benchmark for **Fig. 8** — sensitivity to the balance hyperparameter λ.
+
+Paper protocol (§VI-H): re-score the *same trained model* with
+λ ∈ {0, 0.01, 0.05, 0.1, 0.5, 1.0} on all four dataset combinations.
+Expected shape: performance is flat-to-slightly-improving for small λ and
+collapses for large λ (the scaling factor is an overestimate, Eq. 6, so a
+small λ compensates); the paper's optimum is near 0.1 on the DiDi data, and
+the harness prints where the optimum falls on the synthetic substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval import format_sweep, run_lambda_sweep
+
+LAMBDAS = (0.0, 0.01, 0.05, 0.1, 0.5, 1.0)
+COMBINATIONS = (("id", "detour"), ("id", "switch"), ("ood", "detour"), ("ood", "switch"))
+
+
+def test_bench_fig8_lambda_sweep(benchmark, xian_data, fitted_causal_tad):
+    sweep = benchmark.pedantic(
+        lambda: run_lambda_sweep(
+            xian_data, fitted_causal_tad, lambdas=LAMBDAS, combinations=COMBINATIONS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(format_sweep(sweep, metric="roc_auc"))
+    print(format_sweep(sweep, metric="pr_auc"))
+    for series in sweep.series:
+        best_index = int(np.argmax(sweep.series[series]["roc_auc"]))
+        print(f"optimal lambda for {series}: {LAMBDAS[best_index]}")
+
+    assert sweep.parameter_values == list(LAMBDAS)
+    assert set(sweep.series) == {f"{d}-{a}" for d, a in COMBINATIONS}
+
+
+def test_fig8_shape_large_lambda_hurts(xian_data, fitted_causal_tad):
+    """λ = 1 must be clearly worse than the small-λ regime (the paper's finding)."""
+    sweep = run_lambda_sweep(
+        xian_data, fitted_causal_tad, lambdas=(0.05, 1.0), combinations=(("ood", "detour"),)
+    )
+    curve = sweep.series["ood-detour"]["roc_auc"]
+    assert curve[0] > curve[1]
+
+
+def test_fig8_shape_small_lambda_close_to_likelihood_only(xian_data, fitted_causal_tad):
+    """λ → 0 recovers the TG-VAE-only scores (CausalTAD degrades to VSAE-style scoring)."""
+    sweep = run_lambda_sweep(
+        xian_data, fitted_causal_tad, lambdas=(0.0, 0.01), combinations=(("id", "detour"),)
+    )
+    curve = sweep.series["id-detour"]["roc_auc"]
+    assert abs(curve[0] - curve[1]) < 0.05

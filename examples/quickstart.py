@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Quickstart: train CausalTAD on a synthetic city and detect detour anomalies.
+
+This script walks through the whole pipeline in five short steps:
+
+1. generate a synthetic city (road network + latent road-preference field),
+2. simulate confounded taxi trajectories and build the benchmark splits,
+3. train CausalTAD (TG-VAE + RP-VAE) on the normal training trajectories,
+4. score the in-distribution and out-of-distribution test combinations,
+5. report ROC-AUC / PR-AUC and show a per-segment score breakdown.
+
+Run it with::
+
+    python examples/quickstart.py [--scale small|tiny] [--seed 0]
+
+The default ``tiny`` scale finishes in a few seconds on a laptop CPU; the
+``small`` scale matches the benchmark harness and takes a couple of minutes.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    XIAN_LIKE,
+    BenchmarkConfig,
+    CausalTAD,
+    CausalTADConfig,
+    Trainer,
+    TrainingConfig,
+    build_benchmark_data,
+)
+from repro.eval import evaluate_scores
+from repro.utils import RandomState
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("tiny", "small"), default="tiny",
+                        help="dataset / model size (tiny: seconds, small: minutes)")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    rng = RandomState(args.seed)
+
+    # ------------------------------------------------------------------ #
+    # 1-2. City, confounded trajectories and benchmark splits.
+    # ------------------------------------------------------------------ #
+    bench_config = BenchmarkConfig.tiny() if args.scale == "tiny" else BenchmarkConfig.small()
+    print(f"Generating the '{XIAN_LIKE.name}' synthetic city and its trajectories ...")
+    data = build_benchmark_data(city_config=XIAN_LIKE, config=bench_config, rng=rng)
+    summary = data.summary()
+    print(f"  road segments : {summary['num_segments']}")
+    print(f"  train          : {summary['train']} trajectories")
+    print(f"  ID test        : {summary['id_test']}  (same SD pairs as training)")
+    print(f"  OOD test       : {summary['ood_test']}  (unseen SD pairs)")
+
+    # ------------------------------------------------------------------ #
+    # 3. Train CausalTAD.
+    # ------------------------------------------------------------------ #
+    if args.scale == "tiny":
+        model_config = CausalTADConfig.tiny(data.num_segments)
+        training = TrainingConfig(epochs=8, batch_size=16, learning_rate=0.02, seed=args.seed)
+    else:
+        model_config = CausalTADConfig.small(data.num_segments)
+        training = TrainingConfig.fast()
+    model = CausalTAD(model_config, network=data.city.network, rng=rng)
+    print(f"\nTraining CausalTAD ({model.num_parameters()} parameters, "
+          f"{training.epochs} epochs) ...")
+    history = Trainer(model, training, rng=rng).fit(data.train)
+    print(f"  final training loss: {history.train_losses[-1]:.3f} "
+          f"(started at {history.train_losses[0]:.3f})")
+
+    # ------------------------------------------------------------------ #
+    # 4. Score the four test combinations of the paper.
+    # ------------------------------------------------------------------ #
+    print("\nAnomaly detection quality (higher is better):")
+    for name in ("id_detour", "id_switch", "ood_detour", "ood_switch"):
+        dataset = getattr(data, name)
+        metrics = evaluate_scores(model.score_dataset(dataset), dataset.labels)
+        print(f"  {name:11s}  ROC-AUC {metrics['roc_auc']:.3f}   PR-AUC {metrics['pr_auc']:.3f}")
+
+    # ------------------------------------------------------------------ #
+    # 5. Per-segment breakdown of one OOD trajectory (the paper's Fig. 4).
+    # ------------------------------------------------------------------ #
+    trajectory = data.ood_test.trajectories[0]
+    breakdown = model.segment_score_breakdown(trajectory)
+    print(f"\nPer-segment scores for OOD trajectory '{trajectory.trajectory_id}':")
+    print("  segment   -logP(t_i|...)   log E[1/P(t_i|e_i)]   debiased")
+    for segment, likelihood, scaling, debiased in zip(
+        breakdown.segments[:10],
+        breakdown.likelihood_scores[:10],
+        breakdown.scaling_scores[:10],
+        breakdown.debiased_scores[:10],
+    ):
+        print(f"  {segment:7d}   {likelihood:13.3f}   {scaling:19.3f}   {debiased:8.3f}")
+    if len(breakdown.segments) > 10:
+        print(f"  ... ({len(breakdown.segments) - 10} more segments)")
+
+
+if __name__ == "__main__":
+    main()

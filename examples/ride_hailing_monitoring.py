@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Online ride-hailing monitoring: score ongoing rides segment by segment.
+
+The scenario that motivates the paper: a ride-hailing platform wants to flag a
+detour *while it is happening*, not after the ride ends.  This example
+
+1. trains CausalTAD on historical (normal) trajectories,
+2. builds an :class:`~repro.core.OnlineDetector` whose per-segment updates are
+   O(1) thanks to the SD-only posterior and precomputed scaling factors,
+3. simulates a fleet of ongoing rides — some normal, some detouring — and
+   streams their segments through per-ride sessions,
+4. raises an alert as soon as a ride's score crosses a threshold calibrated on
+   the training data, and reports how early each anomaly was caught.
+
+Run with::
+
+    python examples/ride_hailing_monitoring.py [--rides 20] [--seed 1]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    XIAN_LIKE,
+    BenchmarkConfig,
+    CausalTAD,
+    CausalTADConfig,
+    OnlineDetector,
+    Trainer,
+    TrainingConfig,
+    build_benchmark_data,
+)
+from repro.utils import RandomState
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rides", type=int, default=20, help="number of ongoing rides to monitor")
+    parser.add_argument("--seed", type=int, default=1, help="random seed")
+    parser.add_argument("--threshold-percentile", type=float, default=97.5,
+                        help="alert threshold as a percentile of normal-ride scores")
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    rng = RandomState(args.seed)
+
+    print("Preparing historical data and training CausalTAD ...")
+    data = build_benchmark_data(city_config=XIAN_LIKE, config=BenchmarkConfig.demo(), rng=rng)
+    model = CausalTAD(
+        CausalTADConfig(
+            num_segments=data.num_segments,
+            embedding_dim=32,
+            hidden_dim=32,
+            latent_dim=16,
+            lambda_weight=0.05,
+            center_scaling=True,
+        ),
+        network=data.city.network,
+        rng=rng,
+    )
+    Trainer(model, TrainingConfig(epochs=25, batch_size=32, learning_rate=0.01), rng=rng).fit(data.train)
+
+    # ------------------------------------------------------------------ #
+    # Calibrate an alert threshold on the *training* rides (all normal).
+    # The threshold is a per-segment average score so that long rides are not
+    # penalised merely for being long.
+    # ------------------------------------------------------------------ #
+    detector = OnlineDetector(model)
+    normal_rates = []
+    for trajectory in data.train.trajectories:
+        prefix_scores = detector.score_prefixes(trajectory)
+        # Use the worst (highest) per-segment rate the ride ever reaches, so the
+        # threshold already accounts for the early-ride inflation caused by the
+        # fixed SD/KL part of the score being spread over few segments.
+        rates = [score / (position + 1) for position, score in enumerate(prefix_scores[1:], start=1)]
+        normal_rates.append(max(rates))
+    threshold = float(np.percentile(normal_rates, args.threshold_percentile))
+    print(f"Alert threshold (score per segment): {threshold:.3f} "
+          f"(P{args.threshold_percentile:.1f} of normal rides)\n")
+
+    # ------------------------------------------------------------------ #
+    # Monitor a mixed fleet of ongoing rides.
+    # ------------------------------------------------------------------ #
+    # Interleave normal and anomalous rides so the monitored fleet contains both.
+    normals = [item for item in data.id_detour if item.label == 0]
+    anomalies = [item for item in data.id_detour if item.label == 1]
+    test_items = []
+    for pair in zip(normals, anomalies):
+        test_items.extend(pair)
+    test_items = test_items[: args.rides]
+    caught, missed, false_alarms = 0, 0, 0
+    detection_points = []
+
+    print(f"Monitoring {len(test_items)} ongoing rides:")
+    for item in test_items:
+        trajectory = item.trajectory
+        session = detector.start_session(trajectory.sd_pair, trajectory.segments[0])
+        alert_at = None
+        for position, segment in enumerate(trajectory.segments[1:], start=2):
+            update = session.update(segment)
+            rate = update.cumulative_score / position
+            if alert_at is None and rate > threshold:
+                alert_at = position
+        status = "ANOMALY" if item.label == 1 else "normal "
+        if item.label == 1 and alert_at is not None:
+            caught += 1
+            fraction = alert_at / len(trajectory)
+            detection_points.append(fraction)
+            outcome = f"alert at segment {alert_at}/{len(trajectory)} ({fraction:.0%} of the ride)"
+        elif item.label == 1:
+            missed += 1
+            outcome = "missed"
+        elif alert_at is not None:
+            false_alarms += 1
+            outcome = f"FALSE ALARM at segment {alert_at}"
+        else:
+            outcome = "no alert"
+        print(f"  ride {trajectory.trajectory_id:32s} [{status}] {outcome}")
+
+    print("\nSummary:")
+    total_anomalies = caught + missed
+    if total_anomalies:
+        print(f"  anomalies caught : {caught}/{total_anomalies}")
+    if detection_points:
+        print(f"  median detection point: {np.median(detection_points):.0%} of the ride")
+    normals = len(test_items) - total_anomalies
+    if normals:
+        print(f"  false alarms     : {false_alarms}/{normals}")
+
+
+if __name__ == "__main__":
+    main()

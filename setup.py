@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so that the package can also be installed in environments whose tooling
+predates PEP 660 editable installs (``pip install -e . --no-use-pep517``),
+e.g. offline machines without the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

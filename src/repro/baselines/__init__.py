@@ -1,0 +1,80 @@
+"""``repro.baselines`` — every comparison method of the paper's evaluation.
+
+* Metric-based: :class:`IBOATDetector`.
+* Learning-based Seq2Seq family: :class:`SAEDetector`, :class:`VSAEDetector`,
+  :class:`BetaVAEDetector`, :class:`FactorVAEDetector`, :class:`GMVSAEDetector`,
+  :class:`DeepTEADetector`.
+* The proposed method and its ablations, adapted to the same interface:
+  :class:`CausalTADDetector`, :class:`TGVAEOnlyDetector`,
+  :class:`RPVAEOnlyDetector`.
+
+:func:`default_detector_suite` builds the full line-up of Tables I and II.
+"""
+
+from typing import Dict, List, Optional
+
+from repro.baselines.base import DetectorConfig, TrajectoryAnomalyDetector
+from repro.baselines.seq2seq import Seq2SeqVariant, Seq2SeqVAEModel, Seq2SeqOutput
+from repro.baselines.learning import (
+    Seq2SeqDetector,
+    SAEDetector,
+    VSAEDetector,
+    BetaVAEDetector,
+    FactorVAEDetector,
+    GMVSAEDetector,
+    DeepTEADetector,
+)
+from repro.baselines.iboat import IBOATDetector
+from repro.baselines.causal import CausalTADDetector, TGVAEOnlyDetector, RPVAEOnlyDetector
+from repro.utils.rng import RandomState
+
+__all__ = [
+    "DetectorConfig",
+    "TrajectoryAnomalyDetector",
+    "Seq2SeqVariant",
+    "Seq2SeqVAEModel",
+    "Seq2SeqOutput",
+    "Seq2SeqDetector",
+    "SAEDetector",
+    "VSAEDetector",
+    "BetaVAEDetector",
+    "FactorVAEDetector",
+    "GMVSAEDetector",
+    "DeepTEADetector",
+    "IBOATDetector",
+    "CausalTADDetector",
+    "TGVAEOnlyDetector",
+    "RPVAEOnlyDetector",
+    "default_detector_suite",
+]
+
+
+def default_detector_suite(
+    config: DetectorConfig,
+    include_iboat: bool = True,
+    include_causal_tad: bool = True,
+    seed: int = 0,
+) -> List[TrajectoryAnomalyDetector]:
+    """The detector line-up of Tables I / II in paper order.
+
+    Every learning-based detector receives an independent random stream so
+    that comparisons are not confounded by shared initialisation noise.
+    """
+    rng = RandomState(seed)
+    streams = rng.spawn(16)
+    detectors: List[TrajectoryAnomalyDetector] = []
+    if include_iboat:
+        detectors.append(IBOATDetector(config.num_segments))
+    detectors.extend(
+        [
+            VSAEDetector(config, rng=streams[1]),
+            SAEDetector(config, rng=streams[2]),
+            BetaVAEDetector(config, rng=streams[3]),
+            FactorVAEDetector(config, rng=streams[4]),
+            GMVSAEDetector(config, rng=streams[5]),
+            DeepTEADetector(config, rng=streams[6]),
+        ]
+    )
+    if include_causal_tad:
+        detectors.append(CausalTADDetector(config, rng=streams[7]))
+    return detectors

@@ -1,0 +1,122 @@
+"""Common interface for every trajectory anomaly detector.
+
+The experiment runners treat CausalTAD, its ablations and all baselines
+uniformly through :class:`TrajectoryAnomalyDetector`:
+
+* ``fit(train, network)`` — learn from *normal* training trajectories,
+* ``score(dataset)`` — one anomaly score per trajectory (higher = more
+  anomalous),
+* ``score_trajectory(trajectory)`` — convenience single-trajectory scoring
+  used by the online / efficiency experiments.
+
+:class:`DetectorConfig` carries the shared hyperparameters of the
+learning-based detectors so that every method in a comparison trains with the
+same capacity and schedule, matching the paper's experimental setup (§VI-A5).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import TrainingConfig
+from repro.roadnet.network import RoadNetwork
+from repro.trajectory.dataset import TrajectoryDataset, encode_batch
+from repro.trajectory.types import MapMatchedTrajectory
+from repro.utils.rng import RandomState
+
+__all__ = ["DetectorConfig", "TrajectoryAnomalyDetector"]
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Shared hyperparameters for the learning-based detectors."""
+
+    num_segments: int
+    embedding_dim: int = 64
+    hidden_dim: int = 64
+    latent_dim: int = 32
+    training: TrainingConfig = field(default_factory=TrainingConfig)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_segments <= 1:
+            raise ValueError("num_segments must be greater than 1")
+        for name in ("embedding_dim", "hidden_dim", "latent_dim"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def vocab_size(self) -> int:
+        return self.num_segments + 1
+
+    @classmethod
+    def small(cls, num_segments: int, training: Optional[TrainingConfig] = None) -> "DetectorConfig":
+        """CPU-friendly sizes used by the benchmark harness."""
+        return cls(
+            num_segments=num_segments,
+            embedding_dim=48,
+            hidden_dim=48,
+            latent_dim=24,
+            training=training or TrainingConfig.fast(),
+        )
+
+    @classmethod
+    def tiny(cls, num_segments: int, training: Optional[TrainingConfig] = None) -> "DetectorConfig":
+        """Minimal sizes for unit tests."""
+        return cls(
+            num_segments=num_segments,
+            embedding_dim=16,
+            hidden_dim=16,
+            latent_dim=8,
+            training=training or TrainingConfig.tiny(),
+        )
+
+
+class TrajectoryAnomalyDetector(ABC):
+    """Base class: fit on normal trajectories, emit per-trajectory anomaly scores."""
+
+    #: Human-readable name used in result tables.
+    name: str = "detector"
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @abstractmethod
+    def fit(
+        self,
+        train: TrajectoryDataset,
+        network: Optional[RoadNetwork] = None,
+    ) -> "TrajectoryAnomalyDetector":
+        """Learn normal behaviour from ``train`` (label-0 trajectories)."""
+
+    @abstractmethod
+    def score(self, dataset: TrajectoryDataset) -> np.ndarray:
+        """Anomaly score per trajectory, aligned with ``dataset`` order."""
+
+    def score_trajectory(self, trajectory: MapMatchedTrajectory) -> float:
+        """Score a single trajectory (default: wrap it in a one-item dataset)."""
+        dataset = TrajectoryDataset.from_trajectories(
+            [trajectory], self.num_segments, name="single"
+        )
+        return float(self.score(dataset)[0])
+
+    # ------------------------------------------------------------------ #
+    @property
+    @abstractmethod
+    def num_segments(self) -> int:
+        """Size of the road-segment vocabulary the detector was built for."""
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(f"{self.name} must be fitted before scoring")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r}, fitted={self._fitted})"

@@ -1,0 +1,220 @@
+"""CausalTAD — the full causal implicit generative model (paper §V).
+
+Combines the two VAEs:
+
+* :class:`~repro.core.tg_vae.TGVAE` estimates the likelihood ``P(c, t)``
+  (through its ELBO), and
+* :class:`~repro.core.rp_vae.RPVAE` estimates the per-segment scaling factors
+  ``E_{e_i}[1 / P(t_i | e_i)]``.
+
+Training minimises the joint loss of Eq. (9):  ``L = Σ L1(c, t) + L2(t)``.
+
+Scoring follows Eq. (10):
+
+    score(t, c) = −log P(c, t) − λ Σ_i log E_{e_i ~ P(E_i|t_i)}[ 1 / P(t_i|e_i) ]
+
+The higher the score, the more anomalous the trajectory.  The per-segment
+breakdown of Eq. (11) — used by the paper's Fig. 4 to visualise how the
+scaling factor rescues unpopular road segments — is exposed through
+:meth:`CausalTAD.segment_score_breakdown`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import CausalTADConfig
+from repro.core.rp_vae import RPVAE
+from repro.core.tg_vae import TGVAE
+from repro.nn import Module, Tensor, no_grad
+from repro.roadnet.network import RoadNetwork
+from repro.trajectory.dataset import EncodedBatch, TrajectoryDataset, encode_batch
+from repro.trajectory.types import MapMatchedTrajectory
+from repro.utils.rng import RandomState, get_rng
+
+__all__ = ["CausalTAD", "CausalTADLoss", "SegmentScoreBreakdown"]
+
+
+@dataclass
+class CausalTADLoss:
+    """The joint training loss and its components (per batch, averaged)."""
+
+    total: Tensor
+    tg_loss: float
+    rp_loss: float
+
+
+@dataclass
+class SegmentScoreBreakdown:
+    """Per-segment decomposition of the debiased anomaly score (Eq. 11).
+
+    Attributes
+    ----------
+    segments:
+        The scored segments ``t_2 … t_n`` (prediction targets).
+    likelihood_scores:
+        ``−log P(t_i | c, t_{<i})`` from TG-VAE, per segment.
+    scaling_scores:
+        ``log E[1 / P(t_i | e_i)]`` from RP-VAE, per segment.
+    debiased_scores:
+        ``likelihood − λ · scaling`` per segment; their sum (plus the SD and
+        KL terms) is the trajectory's anomaly score.
+    """
+
+    segments: np.ndarray
+    likelihood_scores: np.ndarray
+    scaling_scores: np.ndarray
+    debiased_scores: np.ndarray
+
+
+class CausalTAD(Module):
+    """The complete CausalTAD model (TG-VAE + RP-VAE)."""
+
+    def __init__(
+        self,
+        config: CausalTADConfig,
+        network: Optional[RoadNetwork] = None,
+        rng: Optional[RandomState] = None,
+    ) -> None:
+        super().__init__()
+        rng = get_rng(rng)
+        self.config = config
+        self.tg_vae = TGVAE(config, rng=rng)
+        self.rp_vae = RPVAE(config, rng=rng)
+        self._transition_mask: Optional[np.ndarray] = None
+        if network is not None:
+            self.attach_network(network)
+
+    # ------------------------------------------------------------------ #
+    # road network
+    # ------------------------------------------------------------------ #
+    def attach_network(self, network: RoadNetwork) -> None:
+        """Attach the road network supplying the road-constrained decoding mask."""
+        if network.num_segments != self.config.num_segments:
+            raise ValueError(
+                f"network has {network.num_segments} segments but the model was "
+                f"configured for {self.config.num_segments}"
+            )
+        self._transition_mask = network.transition_mask()
+
+    @property
+    def transition_mask(self) -> Optional[np.ndarray]:
+        return self._transition_mask
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def forward(self, batch: EncodedBatch) -> CausalTADLoss:
+        """Joint loss of Eq. (9) for one batch."""
+        tg_out = self.tg_vae(batch, transition_mask=self._transition_mask)
+        rp_out = self.rp_vae(batch)
+        total = tg_out.loss + rp_out.loss
+        return CausalTADLoss(total=total, tg_loss=tg_out.loss.item(), rp_loss=rp_out.loss.item())
+
+    # ------------------------------------------------------------------ #
+    # scoring (Eq. 10)
+    # ------------------------------------------------------------------ #
+    def score_batch(
+        self,
+        batch: EncodedBatch,
+        lambda_weight: Optional[float] = None,
+        use_scaling: bool = True,
+    ) -> np.ndarray:
+        """Debiased anomaly scores for a batch (higher = more anomalous).
+
+        ``lambda_weight`` overrides the configured λ (the Fig. 8 sweep re-scores
+        the same trained model with different λ without retraining);
+        ``use_scaling=False`` drops the RP-VAE term entirely (the TG-VAE
+        ablation of Table III).
+        """
+        lam = self.config.lambda_weight if lambda_weight is None else lambda_weight
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                likelihood_term = self.tg_vae.negative_elbo(batch, self._transition_mask)
+                if not use_scaling or lam == 0.0:
+                    return likelihood_term
+                scaling = self.scaling_factors()
+                per_trajectory_scaling = self._sum_scaling(batch, scaling)
+                return likelihood_term - lam * per_trajectory_scaling
+        finally:
+            self.train(was_training)
+
+    def scaling_factors(self) -> np.ndarray:
+        """Per-segment log scaling factors used by Eq. (10).
+
+        With ``config.center_scaling`` the network-wide mean is removed so the
+        correction is purely relative (see the config docstring).
+        """
+        scaling = self.rp_vae.precompute_scaling_factors()
+        if self.config.center_scaling:
+            scaling = scaling - scaling.mean()
+        return scaling
+
+    def score_dataset(
+        self,
+        dataset: TrajectoryDataset,
+        batch_size: int = 64,
+        lambda_weight: Optional[float] = None,
+        use_scaling: bool = True,
+    ) -> np.ndarray:
+        """Scores for every trajectory of a dataset (in dataset order)."""
+        scores = np.empty(len(dataset), dtype=np.float64)
+        cursor = 0
+        for batch in dataset.iter_batches(batch_size, shuffle=False):
+            batch_scores = self.score_batch(batch, lambda_weight=lambda_weight, use_scaling=use_scaling)
+            scores[cursor : cursor + len(batch_scores)] = batch_scores
+            cursor += len(batch_scores)
+        return scores
+
+    def score_trajectory(
+        self,
+        trajectory: MapMatchedTrajectory,
+        lambda_weight: Optional[float] = None,
+        use_scaling: bool = True,
+    ) -> float:
+        """Score a single trajectory."""
+        batch = encode_batch([trajectory], self.config.num_segments)
+        return float(self.score_batch(batch, lambda_weight=lambda_weight, use_scaling=use_scaling)[0])
+
+    def _sum_scaling(self, batch: EncodedBatch, scaling: np.ndarray) -> np.ndarray:
+        """Σ_i log E[1/P(t_i|e_i)] per trajectory, over valid segments."""
+        segments = batch.full_segments
+        valid = batch.full_mask
+        safe = np.where(valid, segments, 0)
+        values = scaling[safe] * valid
+        return values.sum(axis=1)
+
+    # ------------------------------------------------------------------ #
+    # per-segment breakdown (Eq. 11 / Fig. 4)
+    # ------------------------------------------------------------------ #
+    def segment_score_breakdown(
+        self,
+        trajectory: MapMatchedTrajectory,
+        lambda_weight: Optional[float] = None,
+    ) -> SegmentScoreBreakdown:
+        """Decompose a trajectory's score into per-segment contributions."""
+        lam = self.config.lambda_weight if lambda_weight is None else lambda_weight
+        batch = encode_batch([trajectory], self.config.num_segments)
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                step_scores = self.tg_vae.step_scores(batch, self._transition_mask)[0]
+                scaling = self.scaling_factors()
+        finally:
+            self.train(was_training)
+        target_segments = np.asarray(trajectory.segments[1:], dtype=np.int64)
+        likelihood_scores = step_scores[: len(target_segments)]
+        scaling_scores = scaling[target_segments]
+        debiased = likelihood_scores - lam * scaling_scores
+        return SegmentScoreBreakdown(
+            segments=target_segments,
+            likelihood_scores=likelihood_scores,
+            scaling_scores=scaling_scores,
+            debiased_scores=debiased,
+        )

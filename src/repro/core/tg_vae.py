@@ -1,0 +1,217 @@
+"""TG-VAE — the Trajectory Generation VAE (paper §V-B).
+
+TG-VAE estimates the likelihood term ``P(c, t)`` of the debiased anomaly
+criterion through the ELBO of Eq. (4):
+
+    log P(t, c) ≥ E_{r ~ Q1(R|c)} [ log P(t|r) + log P(c|r) ]
+                  − KL( Q1(R|c) || P(R) )
+
+Its three parts, all following the paper:
+
+* **SD encoder** ``Φ_e`` — embeds the source and destination segments and maps
+  them to the posterior ``Q1(R | c) = N(μ_r, σ_r² I)``.  Conditioning on the
+  SD pair only (not the trajectory) is what gives O(1) online updates.
+* **SD decoder** ``Φ_c`` — reconstructs ``(ŝ, d̂)`` from ``r``; this prevents
+  posterior collapse and forces the latent to carry SD information, which is
+  the paper's out-of-distribution safeguard.
+* **Road-constrained trajectory decoder** ``Φ_t`` — a GRU started from ``r``
+  that predicts the next segment autoregressively, masking the softmax to the
+  graph successors of the current segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import CausalTADConfig
+from repro.nn import (
+    GRU,
+    Embedding,
+    GaussianHead,
+    Linear,
+    MLP,
+    Module,
+    Tensor,
+    concatenate,
+    cross_entropy_from_logits,
+    gaussian_kl_standard,
+    log_softmax,
+    masked_log_softmax,
+    sequence_nll,
+)
+from repro.trajectory.dataset import EncodedBatch
+from repro.utils.rng import RandomState, get_rng
+
+__all__ = ["TGVAE", "TGVAEOutput"]
+
+
+@dataclass
+class TGVAEOutput:
+    """Per-batch outputs of a TG-VAE forward pass.
+
+    ``loss`` is the training objective (negative ELBO, Eq. 4/L1).  The
+    per-trajectory pieces are kept separately because anomaly scoring needs
+    them individually (Eq. 10) and the online detector needs the per-step
+    log-probabilities.
+    """
+
+    loss: Tensor
+    trajectory_nll: np.ndarray      # (batch,) Σ_i −log P(t_{i+1} | r, t_{≤i})
+    sd_nll: np.ndarray              # (batch,) −log P(c | r)
+    kl: np.ndarray                  # (batch,) KL(Q1 || prior)
+    step_log_probs: np.ndarray      # (batch, time) log P(t_{i+1} | ...) at valid steps, 0 elsewhere
+
+
+class TGVAE(Module):
+    """Trajectory Generation VAE."""
+
+    def __init__(self, config: CausalTADConfig, rng: Optional[RandomState] = None) -> None:
+        super().__init__()
+        self.config = config
+        rng = get_rng(rng)
+        vocab = config.vocab_size
+        emb_dim = config.embedding_dim
+        hidden = config.hidden_dim
+        latent = config.latent_dim
+
+        # Embedding tables: E_c for SD tokens, E_r for trajectory tokens (§V-B).
+        self.sd_embedding = Embedding(vocab, emb_dim, rng=rng)
+        self.segment_embedding = Embedding(vocab, emb_dim, rng=rng)
+
+        # SD encoder Φ_e: (s, d) -> posterior over R.
+        self.sd_encoder = MLP((2 * emb_dim, hidden, hidden), activation="relu", rng=rng)
+        self.posterior_head = GaussianHead(hidden, latent, rng=rng)
+
+        # SD decoder Φ_c: r -> (ŝ, d̂).
+        self.sd_decoder_hidden = MLP((latent, hidden), activation="relu", final_activation="relu", rng=rng)
+        self.source_head = Linear(hidden, config.num_segments, rng=rng)
+        self.destination_head = Linear(hidden, config.num_segments, rng=rng)
+
+        # Trajectory decoder Φ_t: GRU started from r.
+        self.latent_to_hidden = Linear(latent, hidden, rng=rng)
+        self.decoder_rnn = GRU(emb_dim, hidden, rng=rng)
+        self.output_projection = Linear(hidden, config.num_segments, rng=rng)
+
+        self._rng = rng
+
+    # ------------------------------------------------------------------ #
+    # pieces
+    # ------------------------------------------------------------------ #
+    def encode_sd(self, sources: np.ndarray, destinations: np.ndarray) -> Tuple[Tensor, Tensor]:
+        """Posterior parameters ``(μ_r, log σ_r²)`` of ``Q1(R | c)``."""
+        s_emb = self.sd_embedding(sources)
+        d_emb = self.sd_embedding(destinations)
+        joint = concatenate([s_emb, d_emb], axis=-1)
+        return self.posterior_head(self.sd_encoder(joint))
+
+    def sample_latent(self, mu: Tensor, logvar: Tensor, deterministic: Optional[bool] = None) -> Tensor:
+        """Reparameterised latent sample (posterior mean in eval mode)."""
+        if deterministic is None:
+            deterministic = not self.training
+        return self.posterior_head.sample(mu, logvar, rng=self._rng, deterministic=deterministic)
+
+    def decode_sd(self, latent: Tensor) -> Tuple[Tensor, Tensor]:
+        """Logits of the reconstructed source and destination."""
+        hidden = self.sd_decoder_hidden(latent)
+        return self.source_head(hidden), self.destination_head(hidden)
+
+    def decode_trajectory(
+        self,
+        latent: Tensor,
+        inputs: np.ndarray,
+        transition_mask: Optional[np.ndarray],
+    ) -> Tensor:
+        """Log-probabilities of the next segment at every decoding step.
+
+        Parameters
+        ----------
+        latent:
+            ``(batch, latent_dim)`` posterior samples.
+        inputs:
+            ``(batch, time)`` observed segments ``t_1 … t_{n-1}`` (padded).
+        transition_mask:
+            ``(num_segments, num_segments)`` boolean successor matrix, or
+            ``None`` to disable road-constrained prediction.
+
+        Returns
+        -------
+        ``(batch, time, num_segments)`` log-probabilities.
+        """
+        h0 = self.latent_to_hidden(latent).tanh()
+        embedded = self.segment_embedding(inputs)
+        outputs, _ = self.decoder_rnn(embedded, h0=h0)
+        logits = self.output_projection(outputs)
+        if transition_mask is None or not self.config.road_constrained:
+            return log_softmax(logits, axis=-1)
+        # Road-constrained prediction: the next segment must be a successor of
+        # the current input segment.  Padding rows get an all-True mask (their
+        # loss contribution is removed by the batch mask anyway).
+        safe_inputs = np.where(inputs >= self.config.num_segments, 0, inputs)
+        step_mask = transition_mask[safe_inputs]
+        step_mask = step_mask | (inputs >= self.config.num_segments)[..., None]
+        return masked_log_softmax(logits, step_mask, axis=-1)
+
+    # ------------------------------------------------------------------ #
+    # full pass
+    # ------------------------------------------------------------------ #
+    def forward(
+        self,
+        batch: EncodedBatch,
+        transition_mask: Optional[np.ndarray] = None,
+        deterministic_latent: Optional[bool] = None,
+    ) -> TGVAEOutput:
+        """Compute the L1 loss (Eq. 4) and per-trajectory components."""
+        config = self.config
+        mu, logvar = self.encode_sd(batch.sources, batch.destinations)
+        latent = self.sample_latent(mu, logvar, deterministic=deterministic_latent)
+
+        # Trajectory reconstruction term  Σ_i H(t̂_i, t_i).
+        log_probs = self.decode_trajectory(latent, batch.inputs, transition_mask)
+        per_step_nll = sequence_nll(log_probs, batch.targets, mask=batch.mask, reduction="none")
+        trajectory_nll = per_step_nll.sum(axis=1)
+
+        # SD reconstruction term  H(ŝ, s) + H(d̂, d).
+        if config.use_sd_decoder:
+            source_logits, destination_logits = self.decode_sd(latent)
+            source_nll = cross_entropy_from_logits(source_logits, batch.sources, reduction="none")
+            destination_nll = cross_entropy_from_logits(
+                destination_logits, batch.destinations, reduction="none"
+            )
+            sd_nll = source_nll + destination_nll
+        else:
+            sd_nll = Tensor(np.zeros(batch.batch_size))
+
+        # KL term.
+        kl = gaussian_kl_standard(mu, logvar, reduction="none")
+
+        per_trajectory = trajectory_nll + sd_nll + kl * config.kl_weight
+        loss = per_trajectory.mean()
+
+        step_log_probs = -per_step_nll.data  # (batch, time); zero where masked
+        return TGVAEOutput(
+            loss=loss,
+            trajectory_nll=trajectory_nll.data.copy(),
+            sd_nll=sd_nll.data.copy(),
+            kl=kl.data.copy(),
+            step_log_probs=step_log_probs,
+        )
+
+    # ------------------------------------------------------------------ #
+    # inference helpers
+    # ------------------------------------------------------------------ #
+    def negative_elbo(
+        self, batch: EncodedBatch, transition_mask: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Per-trajectory −ELBO ≈ −log P(c, t), the likelihood part of Eq. 10."""
+        output = self.forward(batch, transition_mask, deterministic_latent=True)
+        return output.trajectory_nll + output.sd_nll + output.kl
+
+    def step_scores(
+        self, batch: EncodedBatch, transition_mask: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Per-step −log P(t_{i+1} | r, t_{≤i}) (Fig. 4's per-segment scores)."""
+        output = self.forward(batch, transition_mask, deterministic_latent=True)
+        return -output.step_log_probs

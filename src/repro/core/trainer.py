@@ -1,0 +1,172 @@
+"""Training loop for CausalTAD (and any module exposing a batch-loss forward).
+
+The trainer owns the optimiser, the epoch/batch loop, gradient clipping,
+optional validation split and loss history, mirroring the paper's setup of
+Adam with initial learning rate 0.01.  It intentionally knows nothing about
+the model internals beyond "forward(batch) returns an object with a ``total``
+(or plain Tensor) loss", so the same trainer drives the baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, Union
+
+import numpy as np
+
+from repro.core.config import TrainingConfig
+from repro.nn import Adam, Module, Tensor, clip_grad_norm
+from repro.trajectory.dataset import EncodedBatch, TrajectoryDataset
+from repro.utils.logging import get_logger
+from repro.utils.rng import RandomState
+from repro.utils.timing import Stopwatch
+
+__all__ = ["TrainingHistory", "Trainer"]
+
+logger = get_logger("core.trainer")
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch statistics collected during training."""
+
+    train_losses: List[float] = field(default_factory=list)
+    validation_losses: List[float] = field(default_factory=list)
+    epoch_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.train_losses)
+
+    @property
+    def best_epoch(self) -> int:
+        """Epoch index with the lowest validation (or training) loss."""
+        reference = self.validation_losses if self.validation_losses else self.train_losses
+        return int(np.argmin(reference)) if reference else -1
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(self.epoch_seconds))
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        return {
+            "train_losses": list(self.train_losses),
+            "validation_losses": list(self.validation_losses),
+            "epoch_seconds": list(self.epoch_seconds),
+        }
+
+
+class Trainer:
+    """Drives epochs of mini-batch optimisation for a model over a dataset."""
+
+    def __init__(
+        self,
+        model: Module,
+        config: Optional[TrainingConfig] = None,
+        rng: Optional[RandomState] = None,
+    ) -> None:
+        self.model = model
+        self.config = config or TrainingConfig()
+        self.rng = rng if rng is not None else RandomState(self.config.seed)
+        self.optimizer = Adam(
+            model.parameters(),
+            lr=self.config.learning_rate,
+            weight_decay=self.config.weight_decay,
+        )
+        self.history = TrainingHistory()
+
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        dataset: TrajectoryDataset,
+        validation: Optional[TrajectoryDataset] = None,
+        epochs: Optional[int] = None,
+    ) -> TrainingHistory:
+        """Train the model and return the loss history.
+
+        If the trainer config specifies ``validation_fraction`` and no explicit
+        validation set is given, the fraction is split off the training set.
+        """
+        config = self.config
+        epochs = epochs if epochs is not None else config.epochs
+        train_set, validation_set = self._split_validation(dataset, validation)
+
+        stopwatch = Stopwatch()
+        for epoch in range(epochs):
+            self.model.train()
+            epoch_losses: List[float] = []
+            with stopwatch.time("epoch"):
+                for batch in train_set.iter_batches(config.batch_size, shuffle=True, rng=self.rng):
+                    loss_value = self._step(batch)
+                    epoch_losses.append(loss_value)
+            mean_loss = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
+            self.history.train_losses.append(mean_loss)
+            self.history.epoch_seconds.append(stopwatch.records["epoch"][-1])
+
+            if validation_set is not None and len(validation_set) > 0:
+                self.history.validation_losses.append(self.evaluate_loss(validation_set))
+
+            if config.log_every and (epoch + 1) % config.log_every == 0:
+                val = (
+                    f", val {self.history.validation_losses[-1]:.4f}"
+                    if self.history.validation_losses
+                    else ""
+                )
+                logger.info("epoch %d/%d: train %.4f%s", epoch + 1, epochs, mean_loss, val)
+        return self.history
+
+    def train_one_epoch(self, dataset: TrajectoryDataset) -> float:
+        """One epoch only (used by the training-scalability experiment)."""
+        self.model.train()
+        losses = [
+            self._step(batch)
+            for batch in dataset.iter_batches(self.config.batch_size, shuffle=True, rng=self.rng)
+        ]
+        mean_loss = float(np.mean(losses)) if losses else float("nan")
+        self.history.train_losses.append(mean_loss)
+        return mean_loss
+
+    def evaluate_loss(self, dataset: TrajectoryDataset) -> float:
+        """Mean loss over a dataset without updating parameters."""
+        self.model.eval()
+        losses: List[float] = []
+        for batch in dataset.iter_batches(self.config.batch_size, shuffle=False):
+            loss = self._compute_loss(batch)
+            losses.append(loss.item())
+        self.model.train()
+        return float(np.mean(losses)) if losses else float("nan")
+
+    # ------------------------------------------------------------------ #
+    def _step(self, batch: EncodedBatch) -> float:
+        loss = self._compute_loss(batch)
+        self.optimizer.zero_grad()
+        loss.backward()
+        if self.config.grad_clip > 0:
+            clip_grad_norm(self.optimizer.parameters, self.config.grad_clip)
+        self.optimizer.step()
+        return loss.item()
+
+    def _compute_loss(self, batch: EncodedBatch) -> Tensor:
+        output = self.model(batch)
+        if isinstance(output, Tensor):
+            return output
+        if hasattr(output, "total"):
+            return output.total
+        if hasattr(output, "loss"):
+            return output.loss
+        raise TypeError(
+            "model forward must return a Tensor or an object with a 'total' or 'loss' attribute"
+        )
+
+    def _split_validation(
+        self, dataset: TrajectoryDataset, validation: Optional[TrajectoryDataset]
+    ):
+        if validation is not None or self.config.validation_fraction <= 0:
+            return dataset, validation
+        order = self.rng.permutation(len(dataset))
+        num_validation = int(len(dataset) * self.config.validation_fraction)
+        if num_validation == 0:
+            return dataset, None
+        validation_idx = [int(i) for i in order[:num_validation]]
+        train_idx = [int(i) for i in order[num_validation:]]
+        return dataset.subset(train_idx, name="train"), dataset.subset(validation_idx, name="validation")

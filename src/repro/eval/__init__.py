@@ -1,0 +1,65 @@
+"""``repro.eval`` — metrics, evaluation pipelines and experiment runners.
+
+The experiment runners map one-to-one onto the paper's tables and figures; see
+:mod:`repro.eval.experiments` for the index.
+"""
+
+from repro.eval.metrics import (
+    roc_curve,
+    roc_auc_score,
+    precision_recall_curve,
+    pr_auc_score,
+    average_precision_score,
+    evaluate_scores,
+)
+from repro.eval.evaluation import EvaluationResult, evaluate_detector, fit_and_evaluate
+from repro.eval.experiments import (
+    ExperimentTable,
+    SweepResult,
+    ScoreBreakdownComparison,
+    EfficiencyResult,
+    run_id_evaluation,
+    run_ood_evaluation,
+    run_ablation,
+    score_breakdown,
+    run_stability_sweep,
+    run_online_sweep,
+    run_training_scalability,
+    run_inference_efficiency,
+    run_lambda_sweep,
+)
+from repro.eval.reporting import (
+    format_results_table,
+    format_sweep,
+    format_efficiency,
+    format_improvement_summary,
+)
+
+__all__ = [
+    "roc_curve",
+    "roc_auc_score",
+    "precision_recall_curve",
+    "pr_auc_score",
+    "average_precision_score",
+    "evaluate_scores",
+    "EvaluationResult",
+    "evaluate_detector",
+    "fit_and_evaluate",
+    "ExperimentTable",
+    "SweepResult",
+    "ScoreBreakdownComparison",
+    "EfficiencyResult",
+    "run_id_evaluation",
+    "run_ood_evaluation",
+    "run_ablation",
+    "score_breakdown",
+    "run_stability_sweep",
+    "run_online_sweep",
+    "run_training_scalability",
+    "run_inference_efficiency",
+    "run_lambda_sweep",
+    "format_results_table",
+    "format_sweep",
+    "format_efficiency",
+    "format_improvement_summary",
+]

@@ -1,0 +1,103 @@
+"""Plain-text reporting of experiment results.
+
+The benchmark harness prints, for every table and figure of the paper, rows in
+the same layout the paper uses so that EXPERIMENTS.md can record
+paper-vs-measured side by side.  Everything here is pure formatting — no
+computation — and returns strings so tests can assert on structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.eval.evaluation import EvaluationResult
+from repro.eval.experiments import EfficiencyResult, ExperimentTable, SweepResult
+
+__all__ = [
+    "format_results_table",
+    "format_sweep",
+    "format_efficiency",
+    "format_improvement_summary",
+]
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.4f}"
+
+
+def format_results_table(table: ExperimentTable, metric_names: Sequence[str] = ("roc_auc", "pr_auc")) -> str:
+    """Render an :class:`ExperimentTable` as aligned text (Tables I–III)."""
+    datasets: List[str] = []
+    for result in table.results:
+        if result.dataset not in datasets:
+            datasets.append(result.dataset)
+    header_cells = ["detector"] + [f"{d}:{m}" for d in datasets for m in metric_names]
+    rows: List[List[str]] = [header_cells]
+    for detector, results in table.by_detector().items():
+        by_dataset = {r.dataset: r for r in results}
+        cells = [detector]
+        for dataset in datasets:
+            result = by_dataset.get(dataset)
+            for metric in metric_names:
+                cells.append(_fmt(getattr(result, metric)) if result else "-")
+        rows.append(cells)
+    return _align(rows, title=table.name)
+
+
+def format_sweep(sweep: SweepResult, metric: str = "roc_auc") -> str:
+    """Render a :class:`SweepResult` (Figs. 5, 6, 8) as aligned text."""
+    header = [sweep.parameter_name] + [f"{value:g}" for value in sweep.parameter_values]
+    rows: List[List[str]] = [header]
+    for series, metrics in sweep.series.items():
+        values = metrics.get(metric, [])
+        rows.append([series] + [_fmt(v) for v in values])
+    return _align(rows, title=f"{sweep.name} ({metric})")
+
+
+def format_efficiency(result: EfficiencyResult) -> str:
+    """Render an :class:`EfficiencyResult` (Fig. 7) as aligned text (seconds)."""
+    header = [result.parameter_name] + [f"{value:g}" for value in result.parameter_values]
+    rows: List[List[str]] = [header]
+    for series, seconds in result.seconds.items():
+        rows.append([series] + [f"{value:.4f}s" for value in seconds])
+    return _align(rows, title=result.name)
+
+
+def format_improvement_summary(
+    table: ExperimentTable,
+    proposed: str = "CausalTAD",
+    metric: str = "roc_auc",
+) -> str:
+    """The paper's "Improvement" row: relative gain of the proposed method
+    over the best baseline, per dataset."""
+    datasets: List[str] = []
+    for result in table.results:
+        if result.dataset not in datasets:
+            datasets.append(result.dataset)
+    lines = [f"improvement of {proposed} over best baseline ({metric}):"]
+    for dataset in datasets:
+        candidates = [r for r in table.results if r.dataset == dataset]
+        ours = next((r for r in candidates if r.detector == proposed), None)
+        baselines = [r for r in candidates if r.detector != proposed]
+        if ours is None or not baselines:
+            continue
+        best_baseline = max(baselines, key=lambda r: getattr(r, metric))
+        baseline_value = getattr(best_baseline, metric)
+        improvement = (getattr(ours, metric) - baseline_value) / max(baseline_value, 1e-9) * 100.0
+        lines.append(
+            f"  {dataset}: {getattr(ours, metric):.4f} vs {baseline_value:.4f} "
+            f"({best_baseline.detector}) -> {improvement:+.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def _align(rows: List[List[str]], title: Optional[str] = None) -> str:
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    for index, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if index == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(widths))))
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""``repro.nn`` — a from-scratch numpy neural-network substrate.
+
+The original CausalTAD implementation is written in PyTorch.  This package
+replaces it with a self-contained reverse-mode autodiff engine plus the layers,
+losses and optimisers required by the paper's models and baselines:
+
+* :class:`Tensor` and :class:`no_grad` — the autograd core.
+* :class:`Module` / :class:`Parameter` — model containers with state dicts.
+* Layers: :class:`Linear`, :class:`Embedding`, :class:`MLP`, :class:`GRU`,
+  :class:`LSTM`, :class:`GaussianHead`.
+* Losses: cross entropy (road-constrained variant via
+  :func:`masked_log_softmax` + :func:`cross_entropy_from_log_probs`),
+  Gaussian KL divergences, sequence NLL.
+* Optimisers: :class:`SGD`, :class:`Adam`, plus gradient clipping.
+* Checkpoint (de)serialisation helpers.
+"""
+
+from repro.nn.tensor import Tensor, as_tensor, concatenate, stack, no_grad, is_grad_enabled
+from repro.nn.functional import (
+    softmax,
+    log_softmax,
+    masked_log_softmax,
+    logsumexp,
+    one_hot,
+    dropout,
+    NEG_INF,
+)
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import Linear, Embedding, Dropout, Sequential, MLP, GaussianHead, Activation
+from repro.nn.rnn import GRUCell, GRU, LSTMCell, LSTM
+from repro.nn.losses import (
+    cross_entropy_from_logits,
+    cross_entropy_from_log_probs,
+    sequence_nll,
+    gaussian_kl_standard,
+    gaussian_kl,
+    mse_loss,
+)
+from repro.nn.optim import Optimizer, SGD, Adam, clip_grad_norm
+from repro.nn.serialization import save_checkpoint, load_checkpoint, save_state_dict, load_state_dict
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concatenate",
+    "stack",
+    "no_grad",
+    "is_grad_enabled",
+    "softmax",
+    "log_softmax",
+    "masked_log_softmax",
+    "logsumexp",
+    "one_hot",
+    "dropout",
+    "NEG_INF",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "Dropout",
+    "Sequential",
+    "MLP",
+    "GaussianHead",
+    "Activation",
+    "GRUCell",
+    "GRU",
+    "LSTMCell",
+    "LSTM",
+    "cross_entropy_from_logits",
+    "cross_entropy_from_log_probs",
+    "sequence_nll",
+    "gaussian_kl_standard",
+    "gaussian_kl",
+    "mse_loss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_state_dict",
+    "load_state_dict",
+]

@@ -1,0 +1,67 @@
+"""Parameter initialisation schemes.
+
+The layers in :mod:`repro.nn.layers` and :mod:`repro.nn.rnn` default to
+Xavier/Glorot initialisation for affine weights and small-normal initialisation
+for embeddings, mirroring PyTorch defaults closely enough that the paper's
+reported hyperparameters (hidden dimension 128, learning rate 0.01) train
+stably.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomState, get_rng
+
+__all__ = ["xavier_uniform", "xavier_normal", "normal_init", "zeros", "orthogonal"]
+
+
+def xavier_uniform(shape: Tuple[int, ...], gain: float = 1.0, rng: Optional[RandomState] = None) -> np.ndarray:
+    """Glorot uniform: U(-a, a) with ``a = gain * sqrt(6 / (fan_in + fan_out))``."""
+    rng = get_rng(rng)
+    fan_in, fan_out = _fans(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, ...], gain: float = 1.0, rng: Optional[RandomState] = None) -> np.ndarray:
+    """Glorot normal: N(0, gain^2 * 2 / (fan_in + fan_out))."""
+    rng = get_rng(rng)
+    fan_in, fan_out = _fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def normal_init(shape: Tuple[int, ...], std: float = 0.02, rng: Optional[RandomState] = None) -> np.ndarray:
+    """Plain Gaussian initialisation, default std 0.02 (embedding tables)."""
+    rng = get_rng(rng)
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def orthogonal(shape: Tuple[int, int], gain: float = 1.0, rng: Optional[RandomState] = None) -> np.ndarray:
+    """Orthogonal initialisation for recurrent weight matrices."""
+    rng = get_rng(rng)
+    rows, cols = shape
+    flat = rng.normal(0.0, 1.0, size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q *= np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return gain * q[:rows, :cols]
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("initialisation requires at least a 1-D shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[:-1]))
+    fan_out = shape[-1]
+    return fan_in, fan_out

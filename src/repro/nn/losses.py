@@ -1,0 +1,133 @@
+"""Loss functions used to train the VAEs and the baselines.
+
+The paper's training objective (Eq. 9) combines, per trajectory:
+
+* cross-entropy of the predicted next road segment against the observed one
+  (trajectory reconstruction, with the road-constrained mask applied before
+  the softmax),
+* cross-entropy of the reconstructed source / destination (the SD decoder that
+  prevents posterior collapse),
+* the KL divergence between the diagonal-Gaussian posterior and the standard
+  normal prior.
+
+This module provides those pieces plus the masked/sequence-aware variants
+needed for batched variable-length trajectories.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.functional import log_softmax
+from repro.nn.tensor import Tensor, as_tensor
+
+__all__ = [
+    "cross_entropy_from_logits",
+    "cross_entropy_from_log_probs",
+    "sequence_nll",
+    "gaussian_kl_standard",
+    "gaussian_kl",
+    "mse_loss",
+]
+
+
+def cross_entropy_from_logits(logits: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Cross entropy ``H(target, softmax(logits))``.
+
+    Parameters
+    ----------
+    logits:
+        Shape ``(..., V)`` unnormalised scores.
+    targets:
+        Integer array of shape ``(...)`` with class indices.
+    reduction:
+        ``"mean"``, ``"sum"`` or ``"none"``.
+    """
+    return cross_entropy_from_log_probs(log_softmax(logits, axis=-1), targets, reduction)
+
+
+def cross_entropy_from_log_probs(
+    log_probs: Tensor, targets: np.ndarray, reduction: str = "mean"
+) -> Tensor:
+    """Cross entropy when the caller already has log-probabilities.
+
+    This is the entry point used with :func:`repro.nn.functional.masked_log_softmax`
+    for road-constrained prediction, where the mask must be applied before
+    normalisation.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    picked = log_probs.gather_last(targets)
+    nll = -picked
+    return _reduce(nll, reduction)
+
+
+def sequence_nll(
+    log_probs: Tensor,
+    targets: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+    reduction: str = "mean",
+) -> Tensor:
+    """Negative log-likelihood of a batch of padded sequences.
+
+    Parameters
+    ----------
+    log_probs:
+        Shape ``(batch, time, V)`` log-probabilities.
+    targets:
+        Shape ``(batch, time)`` integer targets.
+    mask:
+        Optional ``(batch, time)`` boolean mask; False positions (padding) are
+        excluded from the loss.
+    reduction:
+        ``"mean"`` averages over *valid* positions; ``"sum"`` sums them;
+        ``"none"`` returns the per-position NLL tensor (masked positions
+        zeroed).
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    nll = -log_probs.gather_last(targets)
+    if mask is not None:
+        mask_arr = np.asarray(mask, dtype=np.float64)
+        nll = nll * Tensor(mask_arr)
+        if reduction == "mean":
+            denom = max(float(mask_arr.sum()), 1.0)
+            return nll.sum() * (1.0 / denom)
+    return _reduce(nll, reduction)
+
+
+def gaussian_kl_standard(mu: Tensor, logvar: Tensor, reduction: str = "mean") -> Tensor:
+    """KL( N(mu, diag(exp(logvar))) || N(0, I) ), summed over the latent axis.
+
+    The closed form is ``0.5 * Σ (exp(logvar) + mu² - 1 - logvar)``.
+    """
+    kl = (logvar.exp() + mu * mu - 1.0 - logvar).sum(axis=-1) * 0.5
+    return _reduce(kl, reduction)
+
+
+def gaussian_kl(
+    mu_q: Tensor, logvar_q: Tensor, mu_p: Tensor, logvar_p: Tensor, reduction: str = "mean"
+) -> Tensor:
+    """KL divergence between two diagonal Gaussians (used by GM-VSAE priors)."""
+    var_q = logvar_q.exp()
+    var_p = logvar_p.exp()
+    diff = mu_q - mu_p
+    kl = ((logvar_p - logvar_q) + (var_q + diff * diff) / var_p - 1.0).sum(axis=-1) * 0.5
+    return _reduce(kl, reduction)
+
+
+def mse_loss(prediction: Tensor, target, reduction: str = "mean") -> Tensor:
+    """Mean squared error."""
+    target = as_tensor(target)
+    diff = prediction - target
+    return _reduce(diff * diff, reduction)
+
+
+def _reduce(value: Tensor, reduction: str) -> Tensor:
+    if reduction == "mean":
+        return value.mean()
+    if reduction == "sum":
+        return value.sum()
+    if reduction == "none":
+        return value
+    raise ValueError(f"unknown reduction '{reduction}'")

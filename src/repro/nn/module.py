@@ -1,0 +1,148 @@
+"""Module base class — the container abstraction for trainable models.
+
+Mirrors the familiar ``torch.nn.Module`` contract:
+
+* :class:`Parameter` is a :class:`~repro.nn.tensor.Tensor` with
+  ``requires_grad=True`` that a :class:`Module` registers automatically when
+  assigned as an attribute.
+* ``module.parameters()`` / ``named_parameters()`` walk the module tree.
+* ``state_dict()`` / ``load_state_dict()`` snapshot and restore weights.
+* ``train()`` / ``eval()`` toggle the training flag used by dropout and by the
+  VAE reparameterisation (which switches to the posterior mean at eval time
+  when configured to do so).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A tensor registered as a trainable parameter of a :class:`Module`."""
+
+    def __init__(self, data, name: Optional[str] = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural network modules.
+
+    Subclasses define parameters and submodules as attributes inside
+    ``__init__`` and implement :meth:`forward`.  Calling the module invokes
+    ``forward``.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training: bool = True
+
+    # ------------------------------------------------------------------ #
+    # attribute registration
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------ #
+    # forward dispatch
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError(f"{type(self).__name__} must implement forward()")
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # parameter iteration
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> List[Parameter]:
+        """All parameters of this module and its submodules."""
+        return [p for _, p in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Iterate over ``(qualified_name, parameter)`` pairs."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        """Iterate over this module and every submodule (depth first)."""
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return int(sum(p.size for p in self.parameters()))
+
+    # ------------------------------------------------------------------ #
+    # training mode
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects dropout and VAE sampling)."""
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        """Set evaluation mode recursively."""
+        return self.train(False)
+
+    # ------------------------------------------------------------------ #
+    # gradients
+    # ------------------------------------------------------------------ #
+    def zero_grad(self) -> None:
+        """Clear the gradients of all parameters."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # state dict
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of all parameter arrays keyed by qualified name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameter arrays produced by :meth:`state_dict`.
+
+        Parameters
+        ----------
+        state:
+            Mapping of qualified parameter name to numpy array.
+        strict:
+            If True (default), missing or unexpected keys raise ``KeyError``
+            and shape mismatches raise ``ValueError``.
+        """
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if strict and (missing or unexpected):
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            if name not in state:
+                continue
+            value = np.asarray(state[name])
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for '{name}': expected {param.data.shape}, got {value.shape}"
+                )
+            param.data = value.astype(param.data.dtype).copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        child_repr = ", ".join(self._modules.keys())
+        return f"{type(self).__name__}({child_repr})"

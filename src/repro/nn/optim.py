@@ -1,0 +1,130 @@
+"""Optimisers: SGD (with momentum) and Adam.
+
+The paper trains CausalTAD with Adam (initial learning rate 0.01, hidden dim
+128, 200 epochs).  Both optimisers support gradient clipping by global norm,
+which stabilises the RNN trajectory decoder on long sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm (useful for monitoring training health).
+    """
+    params = [p for p in parameters if p.grad is not None]
+    if not params:
+        return 0.0
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    if max_norm > 0 and total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for p in params:
+            p.grad = p.grad * scale
+    return total
+
+
+class Optimizer:
+    """Base optimiser: holds parameters and clears their gradients."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive; got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all managed parameters."""
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        """Apply one update to every parameter that has a gradient."""
+        for p in self.parameters:
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                v = self._velocity.get(id(p))
+                v = self.momentum * v + grad if v is not None else grad.copy()
+                self._velocity[id(p)] = v
+                grad = v
+            p.data = p.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015) — the optimiser used in the paper."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.001,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError("betas must lie in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one Adam update to every parameter that has a gradient."""
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for p in self.parameters:
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m = self._m.get(id(p), np.zeros_like(p.data))
+            v = self._v.get(id(p), np.zeros_like(p.data))
+            m = self.beta1 * m + (1.0 - self.beta1) * grad
+            v = self.beta2 * v + (1.0 - self.beta2) * grad**2
+            self._m[id(p)] = m
+            self._v[id(p)] = v
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

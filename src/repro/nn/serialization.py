@@ -1,0 +1,61 @@
+"""Model checkpoint serialization.
+
+Checkpoints are stored as ``.npz`` archives holding a flat mapping of
+qualified parameter names to arrays plus an optional JSON metadata blob.  This
+keeps checkpoints portable (no pickle of arbitrary objects) and diffable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint", "save_state_dict", "load_state_dict"]
+
+_METADATA_KEY = "__metadata_json__"
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: Union[str, Path],
+                    metadata: Optional[Dict[str, Any]] = None) -> Path:
+    """Write a parameter mapping (and optional metadata) to an ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {key: np.asarray(value) for key, value in state.items()}
+    if metadata is not None:
+        payload[_METADATA_KEY] = np.frombuffer(
+            json.dumps(metadata, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        )
+    np.savez(path, **payload)
+    # np.savez appends .npz when missing; normalise the returned path.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_state_dict(path: Union[str, Path]) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Read a parameter mapping and its metadata from an ``.npz`` file."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path, allow_pickle=False) as archive:
+        state = {key: archive[key] for key in archive.files if key != _METADATA_KEY}
+        metadata: Dict[str, Any] = {}
+        if _METADATA_KEY in archive.files:
+            metadata = json.loads(archive[_METADATA_KEY].tobytes().decode("utf-8"))
+    return state, metadata
+
+
+def save_checkpoint(model: Module, path: Union[str, Path],
+                    metadata: Optional[Dict[str, Any]] = None) -> Path:
+    """Persist a module's parameters (see :meth:`Module.state_dict`)."""
+    return save_state_dict(model.state_dict(), path, metadata=metadata)
+
+
+def load_checkpoint(model: Module, path: Union[str, Path], strict: bool = True) -> Dict[str, Any]:
+    """Restore a module's parameters in place; returns the stored metadata."""
+    state, metadata = load_state_dict(path)
+    model.load_state_dict(state, strict=strict)
+    return metadata

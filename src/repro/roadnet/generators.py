@@ -1,0 +1,228 @@
+"""Synthetic city generators.
+
+The paper evaluates on the road networks of Xi'an and Chengdu.  Those networks
+(and the DiDi trajectories on them) are not redistributable, so the
+reproduction generates synthetic cities that preserve the properties the
+method depends on:
+
+* a connected, directed road graph with **arterial / collector / local** road
+  classes (the raw material of the road-preference confounder),
+* realistic branching factor (3–4 way intersections) so the road-constrained
+  softmax has meaningful support,
+* a handful of **points of interest** creating popular destinations, and
+* enough segments (hundreds) that SD-pair sparsity — the cause of the
+  out-of-distribution problem — actually occurs.
+
+Three generators are provided: a plain grid, an *arterial grid* whose every
+k-th street is a main road (used for the "Xi'an-like" and "Chengdu-like"
+datasets), and a small hand-built network reproducing the illustrative example
+of Fig. 1(b) for unit tests and documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.roadnet.network import RoadClass, RoadNetwork
+from repro.roadnet.preference import PointOfInterest, RoadPreferenceField
+from repro.roadnet.spatial import Point
+from repro.utils.rng import RandomState, get_rng
+
+__all__ = [
+    "CityConfig",
+    "SyntheticCity",
+    "generate_grid_city",
+    "generate_arterial_city",
+    "build_figure1_example",
+    "XIAN_LIKE",
+    "CHENGDU_LIKE",
+]
+
+
+@dataclass(frozen=True)
+class CityConfig:
+    """Parameters of an arterial-grid synthetic city."""
+
+    name: str
+    rows: int
+    cols: int
+    block_size: float = 250.0
+    arterial_period: int = 3
+    num_pois: int = 4
+    poi_weight: float = 3.0
+    preference_noise: float = 0.15
+    drop_edge_fraction: float = 0.04
+
+
+#: A compact city standing in for the Xi'an dataset (smaller network).
+XIAN_LIKE = CityConfig(name="xian-like", rows=9, cols=9, num_pois=4)
+
+#: A larger city standing in for the Chengdu dataset.
+CHENGDU_LIKE = CityConfig(name="chengdu-like", rows=11, cols=11, num_pois=6)
+
+
+@dataclass
+class SyntheticCity:
+    """A generated road network together with its ground-truth preference field."""
+
+    network: RoadNetwork
+    preference: RoadPreferenceField
+    config: Optional[CityConfig] = None
+
+    @property
+    def name(self) -> str:
+        return self.network.name
+
+
+def generate_grid_city(
+    rows: int,
+    cols: int,
+    block_size: float = 250.0,
+    name: str = "grid-city",
+) -> RoadNetwork:
+    """A plain rows×cols grid of two-way local streets."""
+    if rows < 2 or cols < 2:
+        raise ValueError("a grid city needs at least a 2x2 layout")
+    network = RoadNetwork(name=name)
+    for r in range(rows):
+        for c in range(cols):
+            network.add_intersection(r * cols + c, c * block_size, r * block_size)
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                network.add_bidirectional_road(node, node + 1, RoadClass.LOCAL)
+            if r + 1 < rows:
+                network.add_bidirectional_road(node, node + cols, RoadClass.LOCAL)
+    return network
+
+
+def generate_arterial_city(
+    config: CityConfig,
+    rng: Optional[RandomState] = None,
+) -> SyntheticCity:
+    """A grid city with arterial main roads, POIs and a preference field.
+
+    Every ``arterial_period``-th row and column becomes an arterial (wide,
+    fast, preferred); streets halfway between arterials are collectors; the
+    rest are local roads.  A few randomly chosen non-arterial edges are dropped
+    to break the perfect grid symmetry (real cities have dead ends and
+    one-ways), and POIs are placed preferentially near arterial crossings so
+    that popular destinations sit on preferred roads — the E → C edge of the
+    causal graph.
+    """
+    rng = get_rng(rng)
+    rows, cols = config.rows, config.cols
+    if rows < 3 or cols < 3:
+        raise ValueError("an arterial city needs at least a 3x3 layout")
+    network = RoadNetwork(name=config.name)
+    for r in range(rows):
+        for c in range(cols):
+            jitter_x = float(rng.normal(0.0, config.block_size * 0.03))
+            jitter_y = float(rng.normal(0.0, config.block_size * 0.03))
+            network.add_intersection(
+                r * cols + c, c * config.block_size + jitter_x, r * config.block_size + jitter_y
+            )
+
+    def street_class(index: int) -> str:
+        if index % config.arterial_period == 0:
+            return RoadClass.ARTERIAL
+        if index % config.arterial_period == config.arterial_period // 2 and config.arterial_period > 2:
+            return RoadClass.COLLECTOR
+        return RoadClass.LOCAL
+
+    # Candidate edges with their class; drop a fraction of local edges.
+    candidates: List[Tuple[int, int, str]] = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                candidates.append((node, node + 1, street_class(r)))
+            if r + 1 < rows:
+                candidates.append((node, node + cols, street_class(c)))
+
+    droppable = [i for i, (_, _, cls) in enumerate(candidates) if cls == RoadClass.LOCAL]
+    num_drop = int(len(droppable) * config.drop_edge_fraction)
+    dropped = set(rng.choice(droppable, size=num_drop, replace=False).tolist()) if num_drop else set()
+
+    for i, (a, b, cls) in enumerate(candidates):
+        if i in dropped:
+            continue
+        network.add_bidirectional_road(a, b, cls)
+
+    pois = _place_pois(config, rng)
+    preference = RoadPreferenceField(
+        network, pois=pois, noise_std=config.preference_noise, rng=rng
+    )
+    return SyntheticCity(network=network, preference=preference, config=config)
+
+
+def _place_pois(config: CityConfig, rng: RandomState) -> List[PointOfInterest]:
+    """Place POIs near arterial crossings (plus one deliberately remote POI)."""
+    arterial_indices_r = [r for r in range(config.rows) if r % config.arterial_period == 0]
+    arterial_indices_c = [c for c in range(config.cols) if c % config.arterial_period == 0]
+    crossings = [(r, c) for r in arterial_indices_r for c in arterial_indices_c]
+    rng.shuffle(crossings)
+    pois: List[PointOfInterest] = []
+    kinds = ["mall", "office-park", "transport-hub", "stadium", "hospital", "university"]
+    for i, (r, c) in enumerate(crossings[: max(config.num_pois - 1, 1)]):
+        pois.append(
+            PointOfInterest(
+                name=f"{kinds[i % len(kinds)]}-{i}",
+                location=Point(c * config.block_size, r * config.block_size),
+                weight=config.poi_weight * float(rng.uniform(0.7, 1.3)),
+                radius=config.block_size * 2.0,
+            )
+        )
+    # One POI deliberately placed off the arterial grid: trips toward it look
+    # like the "new destination p7" example in the paper's Fig. 1(b).
+    remote_r = config.rows - 1 if (config.rows - 1) % config.arterial_period else config.rows - 2
+    remote_c = config.cols - 1 if (config.cols - 1) % config.arterial_period else config.cols - 2
+    pois.append(
+        PointOfInterest(
+            name="residential-pocket",
+            location=Point(remote_c * config.block_size, remote_r * config.block_size),
+            weight=config.poi_weight * 0.3,
+            radius=config.block_size * 1.5,
+        )
+    )
+    return pois[: config.num_pois]
+
+
+def build_figure1_example() -> SyntheticCity:
+    """The seven-intersection illustrative network of the paper's Fig. 1(b).
+
+    Nodes p1–p7; the "main road" leads into p2, from which drivers can reach
+    the mall at p5 via the preferred p2–p3–p5 or the narrower p2–p4–p5, and a
+    residential destination p7 reachable only comfortably via p4–p6–p7.
+    """
+    network = RoadNetwork(name="figure1-example")
+    coordinates = {
+        1: (0.0, 200.0),
+        2: (200.0, 200.0),
+        3: (400.0, 300.0),
+        4: (400.0, 100.0),
+        5: (600.0, 300.0),
+        6: (600.0, 100.0),
+        7: (700.0, 200.0),
+    }
+    for node_id, (x, y) in coordinates.items():
+        network.add_intersection(node_id, x, y)
+    two_way = [
+        (1, 2, RoadClass.ARTERIAL),   # the main road
+        (2, 3, RoadClass.ARTERIAL),   # preferred branch toward the mall
+        (2, 4, RoadClass.LOCAL),      # narrower branch
+        (3, 5, RoadClass.ARTERIAL),
+        (4, 5, RoadClass.LOCAL),
+        (4, 6, RoadClass.COLLECTOR),
+        (6, 7, RoadClass.COLLECTOR),
+        (5, 7, RoadClass.LOCAL),      # very narrow road p5-p7
+    ]
+    for a, b, cls in two_way:
+        network.add_bidirectional_road(a, b, cls)
+    pois = [PointOfInterest(name="mall", location=Point(600.0, 300.0), weight=4.0, radius=250.0)]
+    preference = RoadPreferenceField(network, pois=pois, noise_std=0.0)
+    return SyntheticCity(network=network, preference=preference)

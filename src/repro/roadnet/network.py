@@ -1,0 +1,353 @@
+"""The road-network graph.
+
+The paper assumes "all trajectories can be mapped into a completed road
+sequence" on a city road network (Definition 2).  A :class:`RoadNetwork` is a
+directed graph whose *edges are road segments*; a map-matched trajectory is a
+sequence of segment ids where consecutive segments share an intersection.
+
+Two views of the graph matter for the models:
+
+* **Node view** — intersections connected by segments; used by the trajectory
+  simulator and by the Dijkstra detour generator.
+* **Segment view** — a segment ``j`` *follows* segment ``i`` when the head
+  node of ``i`` is the tail node of ``j``.  The TG-VAE trajectory decoder uses
+  this adjacency as the *road-constrained prediction mask* (§V-B): when the
+  ongoing trajectory sits on segment ``i``, only followers of ``i`` may
+  receive probability mass for the next step.
+
+The class also exposes a networkx export for interoperability and a compact
+serialization format.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.roadnet.spatial import Point, euclidean_distance
+
+__all__ = ["RoadClass", "Intersection", "RoadSegment", "RoadNetwork"]
+
+
+class RoadClass:
+    """Road categories used by the synthetic cities.
+
+    The class of a road is part of the latent *road preference* confounder E:
+    arterial roads are wider, faster and preferred by drivers, which in the
+    paper's causal story biases both route choice (E → T) and where popular
+    destinations sit (E → C).
+    """
+
+    ARTERIAL = "arterial"
+    COLLECTOR = "collector"
+    LOCAL = "local"
+
+    ALL = (ARTERIAL, COLLECTOR, LOCAL)
+
+    #: Default free-flow speeds (m/s) per class; used for travel-time weights.
+    DEFAULT_SPEEDS = {ARTERIAL: 16.7, COLLECTOR: 11.1, LOCAL: 8.3}
+
+    #: Default base attractiveness per class; the preference field builds on these.
+    DEFAULT_PREFERENCE = {ARTERIAL: 1.0, COLLECTOR: 0.45, LOCAL: 0.2}
+
+
+@dataclass(frozen=True)
+class Intersection:
+    """A node of the road network."""
+
+    node_id: int
+    location: Point
+
+
+@dataclass(frozen=True)
+class RoadSegment:
+    """A directed road segment (an edge of the road network)."""
+
+    segment_id: int
+    start_node: int
+    end_node: int
+    length: float
+    road_class: str = RoadClass.LOCAL
+    speed_limit: float = RoadClass.DEFAULT_SPEEDS[RoadClass.LOCAL]
+
+    @property
+    def travel_time(self) -> float:
+        """Free-flow traversal time in seconds."""
+        return self.length / max(self.speed_limit, 0.1)
+
+
+class RoadNetwork:
+    """Directed road-segment graph with geometry.
+
+    Construction is incremental (``add_intersection`` / ``add_segment``); the
+    heavier derived structures — segment adjacency lists and the boolean
+    transition mask used for road-constrained decoding — are built lazily and
+    cached, and invalidated whenever the network is mutated.
+    """
+
+    def __init__(self, name: str = "road-network") -> None:
+        self.name = name
+        self._intersections: Dict[int, Intersection] = {}
+        self._segments: Dict[int, RoadSegment] = {}
+        self._out_segments: Dict[int, List[int]] = {}
+        self._in_segments: Dict[int, List[int]] = {}
+        self._segment_by_nodes: Dict[Tuple[int, int], int] = {}
+        self._transition_mask: Optional[np.ndarray] = None
+        self._successor_cache: Optional[Dict[int, List[int]]] = None
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_intersection(self, node_id: int, x: float, y: float) -> Intersection:
+        """Register an intersection; returns the created record."""
+        if node_id in self._intersections:
+            raise ValueError(f"intersection {node_id} already exists")
+        node = Intersection(node_id, Point(float(x), float(y)))
+        self._intersections[node_id] = node
+        self._out_segments.setdefault(node_id, [])
+        self._in_segments.setdefault(node_id, [])
+        self._invalidate()
+        return node
+
+    def add_segment(
+        self,
+        start_node: int,
+        end_node: int,
+        road_class: str = RoadClass.LOCAL,
+        length: Optional[float] = None,
+        speed_limit: Optional[float] = None,
+        segment_id: Optional[int] = None,
+    ) -> RoadSegment:
+        """Add a directed segment between two existing intersections."""
+        if start_node not in self._intersections or end_node not in self._intersections:
+            raise KeyError("both endpoints must be added before the segment")
+        if start_node == end_node:
+            raise ValueError("self-loop segments are not allowed")
+        if (start_node, end_node) in self._segment_by_nodes:
+            raise ValueError(f"segment {start_node}->{end_node} already exists")
+        if road_class not in RoadClass.ALL:
+            raise ValueError(f"unknown road class '{road_class}'")
+        if segment_id is None:
+            segment_id = len(self._segments)
+        if segment_id in self._segments:
+            raise ValueError(f"segment id {segment_id} already exists")
+        if length is None:
+            length = euclidean_distance(
+                self._intersections[start_node].location,
+                self._intersections[end_node].location,
+            )
+        if speed_limit is None:
+            speed_limit = RoadClass.DEFAULT_SPEEDS[road_class]
+        segment = RoadSegment(segment_id, start_node, end_node, float(length), road_class, float(speed_limit))
+        self._segments[segment_id] = segment
+        self._out_segments[start_node].append(segment_id)
+        self._in_segments[end_node].append(segment_id)
+        self._segment_by_nodes[(start_node, end_node)] = segment_id
+        self._invalidate()
+        return segment
+
+    def add_bidirectional_road(
+        self,
+        node_a: int,
+        node_b: int,
+        road_class: str = RoadClass.LOCAL,
+        speed_limit: Optional[float] = None,
+    ) -> Tuple[RoadSegment, RoadSegment]:
+        """Add both directions of a two-way road."""
+        forward = self.add_segment(node_a, node_b, road_class, speed_limit=speed_limit)
+        backward = self.add_segment(node_b, node_a, road_class, speed_limit=speed_limit)
+        return forward, backward
+
+    def _invalidate(self) -> None:
+        self._transition_mask = None
+        self._successor_cache = None
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_intersections(self) -> int:
+        return len(self._intersections)
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    def intersections(self) -> List[Intersection]:
+        """All intersections (sorted by id)."""
+        return [self._intersections[k] for k in sorted(self._intersections)]
+
+    def segments(self) -> List[RoadSegment]:
+        """All segments (sorted by id)."""
+        return [self._segments[k] for k in sorted(self._segments)]
+
+    def intersection(self, node_id: int) -> Intersection:
+        """Look up an intersection by id."""
+        return self._intersections[node_id]
+
+    def segment(self, segment_id: int) -> RoadSegment:
+        """Look up a segment by id."""
+        return self._segments[segment_id]
+
+    def has_segment(self, segment_id: int) -> bool:
+        return segment_id in self._segments
+
+    def segment_between(self, start_node: int, end_node: int) -> Optional[RoadSegment]:
+        """The segment from ``start_node`` to ``end_node`` if it exists."""
+        sid = self._segment_by_nodes.get((start_node, end_node))
+        return self._segments[sid] if sid is not None else None
+
+    def out_segments(self, node_id: int) -> List[RoadSegment]:
+        """Segments leaving ``node_id``."""
+        return [self._segments[s] for s in self._out_segments.get(node_id, [])]
+
+    def in_segments(self, node_id: int) -> List[RoadSegment]:
+        """Segments arriving at ``node_id``."""
+        return [self._segments[s] for s in self._in_segments.get(node_id, [])]
+
+    def segment_midpoint(self, segment_id: int) -> Point:
+        """Geometric midpoint of a segment (used for visualisation and matching)."""
+        seg = self._segments[segment_id]
+        a = self._intersections[seg.start_node].location
+        b = self._intersections[seg.end_node].location
+        return Point((a.x + b.x) / 2.0, (a.y + b.y) / 2.0)
+
+    # ------------------------------------------------------------------ #
+    # segment-level adjacency (road-constrained decoding)
+    # ------------------------------------------------------------------ #
+    def successor_segments(self, segment_id: int) -> List[int]:
+        """Ids of segments that can directly follow ``segment_id``.
+
+        A follower is any segment leaving the end node of ``segment_id``
+        (including the U-turn back along the same road, so that the mask is
+        consistent with :meth:`are_connected` / :meth:`is_valid_route` — every
+        valid route must receive non-zero probability under the
+        road-constrained softmax).
+        """
+        cache = self._successors()
+        return list(cache.get(segment_id, []))
+
+    def _successors(self) -> Dict[int, List[int]]:
+        if self._successor_cache is None:
+            cache: Dict[int, List[int]] = {}
+            for sid, seg in self._segments.items():
+                cache[sid] = list(self._out_segments.get(seg.end_node, []))
+            self._successor_cache = cache
+        return self._successor_cache
+
+    def transition_mask(self) -> np.ndarray:
+        """Boolean matrix ``M`` with ``M[i, j] = True`` iff ``j`` may follow ``i``.
+
+        Shape is ``(num_segments, num_segments)``.  The TG-VAE decoder indexes
+        rows of this matrix with the current segment of the ongoing trajectory
+        to mask the next-segment softmax (the paper's road-constrained
+        prediction).
+        """
+        if self._transition_mask is None:
+            n = self.num_segments
+            mask = np.zeros((n, n), dtype=bool)
+            for sid, followers in self._successors().items():
+                mask[sid, followers] = True
+            self._transition_mask = mask
+        return self._transition_mask
+
+    def are_connected(self, first_segment: int, second_segment: int) -> bool:
+        """Whether ``second_segment`` may directly follow ``first_segment``."""
+        first = self._segments[first_segment]
+        second = self._segments[second_segment]
+        return first.end_node == second.start_node
+
+    def is_valid_route(self, segment_ids: Sequence[int]) -> bool:
+        """Whether a sequence of segment ids forms a connected route."""
+        if not segment_ids:
+            return False
+        if any(sid not in self._segments for sid in segment_ids):
+            return False
+        return all(
+            self.are_connected(a, b) for a, b in zip(segment_ids[:-1], segment_ids[1:])
+        )
+
+    def route_length(self, segment_ids: Sequence[int]) -> float:
+        """Total length (metres) of a route given as segment ids."""
+        return float(sum(self._segments[sid].length for sid in segment_ids))
+
+    # ------------------------------------------------------------------ #
+    # interoperability / serialization
+    # ------------------------------------------------------------------ #
+    def to_networkx(self):
+        """Export to a ``networkx.DiGraph`` (nodes = intersections)."""
+        import networkx as nx
+
+        graph = nx.DiGraph(name=self.name)
+        for node in self.intersections():
+            graph.add_node(node.node_id, x=node.location.x, y=node.location.y)
+        for seg in self.segments():
+            graph.add_edge(
+                seg.start_node,
+                seg.end_node,
+                segment_id=seg.segment_id,
+                length=seg.length,
+                road_class=seg.road_class,
+                speed_limit=seg.speed_limit,
+            )
+        return graph
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable representation."""
+        return {
+            "name": self.name,
+            "intersections": [
+                {"id": n.node_id, "x": n.location.x, "y": n.location.y}
+                for n in self.intersections()
+            ],
+            "segments": [
+                {
+                    "id": s.segment_id,
+                    "start": s.start_node,
+                    "end": s.end_node,
+                    "length": s.length,
+                    "road_class": s.road_class,
+                    "speed_limit": s.speed_limit,
+                }
+                for s in self.segments()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "RoadNetwork":
+        """Rebuild a network from :meth:`to_dict` output."""
+        network = cls(name=payload.get("name", "road-network"))
+        for node in payload["intersections"]:
+            network.add_intersection(node["id"], node["x"], node["y"])
+        for seg in payload["segments"]:
+            network.add_segment(
+                seg["start"],
+                seg["end"],
+                road_class=seg["road_class"],
+                length=seg["length"],
+                speed_limit=seg["speed_limit"],
+                segment_id=seg["id"],
+            )
+        return network
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the network to a JSON file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict()))
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RoadNetwork":
+        """Read a network previously written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RoadNetwork(name={self.name!r}, intersections={self.num_intersections}, "
+            f"segments={self.num_segments})"
+        )

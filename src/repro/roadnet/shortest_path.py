@@ -1,0 +1,218 @@
+"""Shortest-path routines over road networks.
+
+Three uses in the reproduction:
+
+* The **Detour anomaly generator** (paper §VI-A2) temporarily removes a road
+  segment and reroutes between two points of the original trajectory with
+  Dijkstra.
+* The **trajectory simulator** samples realistic routes as preference-weighted
+  stochastic shortest paths.
+* The **iBOAT-style metric baseline** needs node-to-node distances to locate
+  reference trajectories for unseen SD pairs.
+
+All functions operate on the *node* graph but return routes as *segment-id*
+sequences, because that is the representation the models consume.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.roadnet.network import RoadNetwork, RoadSegment
+
+__all__ = [
+    "dijkstra_route",
+    "dijkstra_distances",
+    "route_between_segments",
+    "k_shortest_routes",
+]
+
+WeightFn = Callable[[RoadSegment], float]
+
+
+def _default_weight(segment: RoadSegment) -> float:
+    return segment.length
+
+
+def dijkstra_route(
+    network: RoadNetwork,
+    source_node: int,
+    target_node: int,
+    weight: Optional[WeightFn] = None,
+    banned_segments: Optional[Set[int]] = None,
+) -> Optional[List[int]]:
+    """Shortest route between two intersections as a list of segment ids.
+
+    Parameters
+    ----------
+    network:
+        The road network.
+    source_node, target_node:
+        Intersection ids.
+    weight:
+        Per-segment cost function; defaults to segment length.
+    banned_segments:
+        Segment ids that may not be used (how the Detour generator removes a
+        segment "temporarily" without mutating the network).
+
+    Returns
+    -------
+    The segment-id route, or ``None`` when the target is unreachable.
+    """
+    if source_node == target_node:
+        return []
+    weight = weight or _default_weight
+    banned = banned_segments or set()
+
+    distances: Dict[int, float] = {source_node: 0.0}
+    previous: Dict[int, Tuple[int, int]] = {}  # node -> (prev_node, via_segment)
+    visited: Set[int] = set()
+    heap: List[Tuple[float, int]] = [(0.0, source_node)]
+
+    while heap:
+        dist, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        if node == target_node:
+            break
+        for segment in network.out_segments(node):
+            if segment.segment_id in banned:
+                continue
+            cost = weight(segment)
+            if cost < 0:
+                raise ValueError("Dijkstra requires non-negative segment weights")
+            candidate = dist + cost
+            neighbour = segment.end_node
+            if candidate < distances.get(neighbour, float("inf")):
+                distances[neighbour] = candidate
+                previous[neighbour] = (node, segment.segment_id)
+                heapq.heappush(heap, (candidate, neighbour))
+
+    if target_node not in previous and target_node != source_node:
+        return None
+
+    route: List[int] = []
+    node = target_node
+    while node != source_node:
+        prev_node, via_segment = previous[node]
+        route.append(via_segment)
+        node = prev_node
+    route.reverse()
+    return route
+
+
+def dijkstra_distances(
+    network: RoadNetwork,
+    source_node: int,
+    weight: Optional[WeightFn] = None,
+) -> Dict[int, float]:
+    """Shortest distance from ``source_node`` to every reachable intersection."""
+    weight = weight or _default_weight
+    distances: Dict[int, float] = {source_node: 0.0}
+    visited: Set[int] = set()
+    heap: List[Tuple[float, int]] = [(0.0, source_node)]
+    while heap:
+        dist, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        for segment in network.out_segments(node):
+            candidate = dist + weight(segment)
+            neighbour = segment.end_node
+            if candidate < distances.get(neighbour, float("inf")):
+                distances[neighbour] = candidate
+                heapq.heappush(heap, (candidate, neighbour))
+    return distances
+
+
+def route_between_segments(
+    network: RoadNetwork,
+    from_segment: int,
+    to_segment: int,
+    weight: Optional[WeightFn] = None,
+    banned_segments: Optional[Set[int]] = None,
+) -> Optional[List[int]]:
+    """Shortest route connecting two segments, inclusive of both endpoints.
+
+    Used by the Detour generator: replace the sub-trajectory between segments
+    ``t_i`` and ``t_j`` with the shortest path that avoids a deleted segment.
+    The returned route starts with ``from_segment`` and ends with
+    ``to_segment``.
+    """
+    start = network.segment(from_segment)
+    end = network.segment(to_segment)
+    banned = set(banned_segments or set())
+    middle = dijkstra_route(
+        network,
+        start.end_node,
+        end.start_node,
+        weight=weight,
+        banned_segments=banned,
+    )
+    if middle is None:
+        return None
+    route = [from_segment, *middle, to_segment]
+    # The joined route may revisit the endpoints when from/to are adjacent;
+    # deduplicate immediate repetitions only.
+    deduped = [route[0]]
+    for sid in route[1:]:
+        if sid != deduped[-1]:
+            deduped.append(sid)
+    return deduped if network.is_valid_route(deduped) else None
+
+
+def k_shortest_routes(
+    network: RoadNetwork,
+    source_node: int,
+    target_node: int,
+    k: int,
+    weight: Optional[WeightFn] = None,
+) -> List[List[int]]:
+    """Up to ``k`` loop-free shortest routes (Yen's algorithm).
+
+    Used by the Switch anomaly generator and the route-diversity statistics in
+    the dataset reports.  Routes are returned best-first as segment-id lists.
+    """
+    if k <= 0:
+        return []
+    weight = weight or _default_weight
+    best = dijkstra_route(network, source_node, target_node, weight=weight)
+    if best is None:
+        return []
+    routes: List[List[int]] = [best]
+    candidates: List[Tuple[float, List[int]]] = []
+    seen = {tuple(best)}
+
+    for _ in range(1, k):
+        previous_route = routes[-1]
+        for spur_index in range(len(previous_route)):
+            spur_segment = network.segment(previous_route[spur_index])
+            spur_node = spur_segment.start_node
+            root = previous_route[:spur_index]
+
+            banned: Set[int] = set()
+            for route in routes:
+                if route[:spur_index] == root and spur_index < len(route):
+                    banned.add(route[spur_index])
+
+            spur = dijkstra_route(
+                network, spur_node, target_node, weight=weight, banned_segments=banned
+            )
+            if spur is None:
+                continue
+            candidate = root + spur
+            key = tuple(candidate)
+            if key in seen or not network.is_valid_route(candidate):
+                continue
+            seen.add(key)
+            cost = sum(weight(network.segment(sid)) for sid in candidate)
+            heapq.heappush(candidates, (cost, candidate))
+
+        if not candidates:
+            break
+        _, next_route = heapq.heappop(candidates)
+        routes.append(next_route)
+
+    return routes

@@ -1,0 +1,92 @@
+"""Geometric primitives for road networks and GPS trajectories.
+
+The paper's trajectories are sequences of ``<longitude, latitude, timestamp>``
+points (Definition 1) that are map-matched onto road segments (Definition 2).
+This module supplies the planar geometry those steps need: points, distances,
+point-to-segment projection and simple polyline utilities.
+
+Coordinates are treated as planar (the synthetic cities live on a local
+metric grid measured in metres); :func:`haversine_distance` is provided for
+users who feed real longitude/latitude data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Point",
+    "euclidean_distance",
+    "haversine_distance",
+    "project_point_to_segment",
+    "polyline_length",
+    "interpolate_along",
+]
+
+EARTH_RADIUS_M = 6_371_000.0
+
+
+@dataclass(frozen=True)
+class Point:
+    """A 2-D location.  ``x``/``y`` are metres for synthetic cities, or
+    longitude/latitude degrees when working with real GPS traces."""
+
+    x: float
+    y: float
+
+    def as_tuple(self) -> Tuple[float, float]:
+        return (self.x, self.y)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return euclidean_distance(self, other)
+
+
+def euclidean_distance(a: Point, b: Point) -> float:
+    """Planar distance between two points."""
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+def haversine_distance(a: Point, b: Point) -> float:
+    """Great-circle distance in metres, interpreting points as (lon, lat) degrees."""
+    lon1, lat1, lon2, lat2 = map(math.radians, (a.x, a.y, b.x, b.y))
+    dlon = lon2 - lon1
+    dlat = lat2 - lat1
+    h = math.sin(dlat / 2) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+    return 2 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(h)))
+
+
+def project_point_to_segment(point: Point, start: Point, end: Point) -> Tuple[Point, float, float]:
+    """Project ``point`` onto the segment ``start``–``end``.
+
+    Returns
+    -------
+    (projection, distance, fraction):
+        The closest point on the segment, the distance from ``point`` to it,
+        and the fraction ``t ∈ [0, 1]`` along the segment at which it lies.
+    """
+    sx, sy = start.x, start.y
+    ex, ey = end.x, end.y
+    dx, dy = ex - sx, ey - sy
+    length_sq = dx * dx + dy * dy
+    if length_sq == 0.0:
+        return start, euclidean_distance(point, start), 0.0
+    t = ((point.x - sx) * dx + (point.y - sy) * dy) / length_sq
+    t = max(0.0, min(1.0, t))
+    projection = Point(sx + t * dx, sy + t * dy)
+    return projection, euclidean_distance(point, projection), t
+
+
+def polyline_length(points: Sequence[Point]) -> float:
+    """Total length of a polyline."""
+    return float(sum(euclidean_distance(a, b) for a, b in zip(points[:-1], points[1:])))
+
+
+def interpolate_along(start: Point, end: Point, fraction: float) -> Point:
+    """Point at ``fraction`` of the way from ``start`` to ``end``."""
+    fraction = max(0.0, min(1.0, fraction))
+    return Point(start.x + fraction * (end.x - start.x), start.y + fraction * (end.y - start.y))

@@ -1,0 +1,56 @@
+"""``repro.trajectory`` — trajectory data substrate.
+
+Covers Definitions 1–3 of the paper and the data pipeline of its evaluation:
+raw and map-matched trajectory types, the confounded trajectory simulator
+(implementing the causal graph E → C, E → T, C → T), GPS simulation and map
+matching, the Detour / Switch anomaly generators, dataset containers with
+padding/batching, the benchmark split builder and JSON serialization.
+"""
+
+from repro.trajectory.types import (
+    GPSPoint,
+    Trajectory,
+    SDPair,
+    MapMatchedTrajectory,
+    LabeledTrajectory,
+)
+from repro.trajectory.generator import RouteChoiceModel, TrajectorySimulator, SimulatorConfig
+from repro.trajectory.map_matching import simulate_gps, MapMatcher, MatchResult
+from repro.trajectory.anomalies import (
+    DetourGenerator,
+    SwitchGenerator,
+    AnomalyInjector,
+    DETOUR_KIND,
+    SWITCH_KIND,
+)
+from repro.trajectory.dataset import EncodedBatch, TrajectoryDataset, encode_batch
+from repro.trajectory.splits import BenchmarkConfig, BenchmarkData, build_benchmark_data, mix_id_ood
+from repro.trajectory.io import save_dataset, load_dataset
+
+__all__ = [
+    "GPSPoint",
+    "Trajectory",
+    "SDPair",
+    "MapMatchedTrajectory",
+    "LabeledTrajectory",
+    "RouteChoiceModel",
+    "TrajectorySimulator",
+    "SimulatorConfig",
+    "simulate_gps",
+    "MapMatcher",
+    "MatchResult",
+    "DetourGenerator",
+    "SwitchGenerator",
+    "AnomalyInjector",
+    "DETOUR_KIND",
+    "SWITCH_KIND",
+    "EncodedBatch",
+    "TrajectoryDataset",
+    "encode_batch",
+    "BenchmarkConfig",
+    "BenchmarkData",
+    "build_benchmark_data",
+    "mix_id_ood",
+    "save_dataset",
+    "load_dataset",
+]

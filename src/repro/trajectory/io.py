@@ -1,0 +1,45 @@
+"""Dataset (de)serialization.
+
+Datasets are written as JSON documents so they stay human-inspectable and
+diffable (the guides for this codebase prefer explicit, dependency-free
+formats).  The road network is stored separately via
+:meth:`repro.roadnet.RoadNetwork.save`; a dataset file only references its
+segment count for validation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.types import LabeledTrajectory
+
+__all__ = ["save_dataset", "load_dataset"]
+
+FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: TrajectoryDataset, path: Union[str, Path]) -> Path:
+    """Write a dataset to a JSON file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "name": dataset.name,
+        "num_segments": dataset.num_segments,
+        "items": [item.to_dict() for item in dataset],
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def load_dataset(path: Union[str, Path]) -> TrajectoryDataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported dataset format version {version!r}")
+    items = [LabeledTrajectory.from_dict(item) for item in payload["items"]]
+    return TrajectoryDataset(items, payload["num_segments"], name=payload.get("name", "dataset"))

@@ -1,0 +1,271 @@
+"""Benchmark dataset construction following the paper's protocol (§VI-A1).
+
+For each city the paper:
+
+1. samples 100 candidate SD pairs that have more than 100 trajectories,
+2. uses half of the candidate pairs' trajectories as the **training set** and
+   the other half as the **ID test set** (same SD-pair distribution),
+3. randomly samples trajectories from the whole dataset as the **OOD test
+   set** (new, unseen SD pairs),
+4. injects **Detour** and **Switch** anomalies to build four test
+   combinations: ID & Detour, ID & Switch, OOD & Detour, OOD & Switch, each
+   with roughly balanced normal/anomalous counts,
+5. additionally mixes ID and OOD test sets at a shift ratio α for the
+   stability experiment (Fig. 5).
+
+:func:`build_benchmark_data` reproduces that pipeline on a synthetic city.
+The scale (number of SD pairs, trajectories per pair) is configurable so unit
+tests can run in seconds while the benchmark harness uses larger settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.roadnet.generators import CityConfig, SyntheticCity, generate_arterial_city
+from repro.trajectory.anomalies import AnomalyInjector, DETOUR_KIND, SWITCH_KIND
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.generator import SimulatorConfig, TrajectorySimulator
+from repro.trajectory.types import LabeledTrajectory, MapMatchedTrajectory, SDPair
+from repro.utils.rng import RandomState, get_rng
+
+__all__ = ["BenchmarkConfig", "BenchmarkData", "build_benchmark_data", "mix_id_ood"]
+
+
+@dataclass(frozen=True)
+class BenchmarkConfig:
+    """Scale parameters for one benchmark dataset."""
+
+    num_sd_pairs: int = 25
+    trajectories_per_pair: int = 16
+    num_ood_trajectories: int = 150
+    anomalies_per_test_set: Optional[int] = None
+    simulator: SimulatorConfig = field(default_factory=SimulatorConfig)
+
+    @classmethod
+    def tiny(cls) -> "BenchmarkConfig":
+        """A configuration small enough for unit tests (< 2 s end to end)."""
+        return cls(
+            num_sd_pairs=6,
+            trajectories_per_pair=6,
+            num_ood_trajectories=20,
+            simulator=SimulatorConfig(min_length=5, max_length=40),
+        )
+
+    @classmethod
+    def demo(cls) -> "BenchmarkConfig":
+        """A configuration for the runnable examples (tens of seconds end to end).
+
+        Large enough that comparative statements (CausalTAD vs baselines,
+        ID vs OOD) are not dominated by sampling noise, unlike :meth:`tiny`.
+        """
+        return cls(
+            num_sd_pairs=15,
+            trajectories_per_pair=12,
+            num_ood_trajectories=100,
+            simulator=SimulatorConfig(min_length=6, max_length=50),
+        )
+
+    @classmethod
+    def small(cls) -> "BenchmarkConfig":
+        """A configuration sized for the benchmark harness (CPU minutes)."""
+        return cls(num_sd_pairs=25, trajectories_per_pair=16, num_ood_trajectories=200)
+
+
+@dataclass
+class BenchmarkData:
+    """Everything one city's experiments need.
+
+    Attributes
+    ----------
+    city:
+        The synthetic city (network + ground-truth preference field).
+    train:
+        Normal trajectories of the candidate SD pairs (label 0).
+    id_test / ood_test:
+        Normal test trajectories with seen / unseen SD-pair distribution.
+    id_detour, id_switch, ood_detour, ood_switch:
+        The four test combinations of the paper — each mixes the respective
+        normal test set with an equal-sized set of injected anomalies.
+    """
+
+    city: SyntheticCity
+    train: TrajectoryDataset
+    id_test: TrajectoryDataset
+    ood_test: TrajectoryDataset
+    id_detour: TrajectoryDataset
+    id_switch: TrajectoryDataset
+    ood_detour: TrajectoryDataset
+    ood_switch: TrajectoryDataset
+    candidate_sd_pairs: List[SDPair] = field(default_factory=list)
+
+    @property
+    def num_segments(self) -> int:
+        return self.city.network.num_segments
+
+    def combination(self, distribution: str, anomaly: str) -> TrajectoryDataset:
+        """Look up a test combination, e.g. ``combination('ood', 'detour')``."""
+        key = f"{distribution.lower()}_{anomaly.lower()}"
+        mapping = {
+            "id_detour": self.id_detour,
+            "id_switch": self.id_switch,
+            "ood_detour": self.ood_detour,
+            "ood_switch": self.ood_switch,
+        }
+        if key not in mapping:
+            raise KeyError(f"unknown combination '{distribution} & {anomaly}'")
+        return mapping[key]
+
+    def summary(self) -> Dict[str, int]:
+        """Dataset sizes, for reports and sanity checks."""
+        return {
+            "num_segments": self.num_segments,
+            "train": len(self.train),
+            "id_test": len(self.id_test),
+            "ood_test": len(self.ood_test),
+            "id_detour": len(self.id_detour),
+            "id_switch": len(self.id_switch),
+            "ood_detour": len(self.ood_detour),
+            "ood_switch": len(self.ood_switch),
+        }
+
+
+def build_benchmark_data(
+    city: Optional[SyntheticCity] = None,
+    city_config: Optional[CityConfig] = None,
+    config: Optional[BenchmarkConfig] = None,
+    rng: Optional[RandomState] = None,
+) -> BenchmarkData:
+    """Construct one city's benchmark datasets following the paper protocol.
+
+    Either an already generated ``city`` or a ``city_config`` must be given.
+    """
+    rng = get_rng(rng)
+    config = config or BenchmarkConfig()
+    if city is None:
+        if city_config is None:
+            raise ValueError("either city or city_config must be provided")
+        city = generate_arterial_city(city_config, rng=rng)
+
+    simulator = TrajectorySimulator(city, config=config.simulator, rng=rng)
+    num_segments = city.network.num_segments
+
+    # 1. Candidate SD pairs (popular / confounded ones).
+    candidate_pairs = simulator.popular_sd_pairs(config.num_sd_pairs, rng=rng)
+
+    # 2. Trajectories per candidate pair, split half/half into train and ID test.
+    train_items: List[MapMatchedTrajectory] = []
+    id_test_items: List[MapMatchedTrajectory] = []
+    for pair in candidate_pairs:
+        trajectories = simulator.generate_many(
+            config.trajectories_per_pair, sd_pair=pair, rng=rng
+        )
+        if len(trajectories) < 2:
+            continue
+        half = len(trajectories) // 2
+        train_items.extend(trajectories[:half])
+        id_test_items.extend(trajectories[half:])
+
+    if not train_items or not id_test_items:
+        raise RuntimeError("benchmark construction produced an empty split; enlarge the city")
+
+    # 3. OOD test set: trajectories with SD pairs drawn uniformly (unseen pairs).
+    #    For each OOD trajectory we also simulate a couple of "shadow" routes
+    #    with the same SD pair.  They never enter a test set; they only feed
+    #    the Switch generator, which needs alternative routes per SD pair (in
+    #    the paper these alternatives exist because the OOD set is sampled from
+    #    the full real dataset where every pair has many trajectories).
+    candidate_set = {p.as_tuple() for p in candidate_pairs}
+    ood_items: List[MapMatchedTrajectory] = []
+    shadow_items: List[MapMatchedTrajectory] = []
+    attempts = 0
+    while len(ood_items) < config.num_ood_trajectories and attempts < config.num_ood_trajectories * 30:
+        attempts += 1
+        trajectory = simulator.generate_trajectory(confounded=False, rng=rng)
+        if trajectory is None:
+            continue
+        if trajectory.sd_pair.as_tuple() in candidate_set:
+            continue
+        ood_items.append(trajectory)
+        shadow_items.extend(
+            simulator.generate_many(2, sd_pair=trajectory.sd_pair, rng=rng)
+        )
+
+    train = TrajectoryDataset.from_trajectories(train_items, num_segments, name="train")
+    id_test = TrajectoryDataset.from_trajectories(id_test_items, num_segments, name="id-test")
+    ood_test = TrajectoryDataset.from_trajectories(ood_items, num_segments, name="ood-test")
+
+    # 4. Anomaly injection. The switch generator needs the whole pool of
+    #    trajectories to find alternative routes with the same SD pair.
+    pool = train_items + id_test_items + ood_items + shadow_items
+    injector = AnomalyInjector(city.network, pool)
+    anomaly_target = config.anomalies_per_test_set
+
+    def build_combination(normal: TrajectoryDataset, kind: str, name: str) -> TrajectoryDataset:
+        target = anomaly_target if anomaly_target is not None else len(normal)
+        anomalies = injector.inject(normal.trajectories, kind, rng=rng, target_count=target)
+        combined = normal.items + anomalies
+        return TrajectoryDataset(combined, num_segments, name=name)
+
+    id_detour = build_combination(id_test, DETOUR_KIND, "id-detour")
+    id_switch = build_combination(id_test, SWITCH_KIND, "id-switch")
+    ood_detour = build_combination(ood_test, DETOUR_KIND, "ood-detour")
+    ood_switch = build_combination(ood_test, SWITCH_KIND, "ood-switch")
+
+    return BenchmarkData(
+        city=city,
+        train=train,
+        id_test=id_test,
+        ood_test=ood_test,
+        id_detour=id_detour,
+        id_switch=id_switch,
+        ood_detour=ood_detour,
+        ood_switch=ood_switch,
+        candidate_sd_pairs=candidate_pairs,
+    )
+
+
+def mix_id_ood(
+    id_dataset: TrajectoryDataset,
+    ood_dataset: TrajectoryDataset,
+    alpha: float,
+    rng: Optional[RandomState] = None,
+) -> TrajectoryDataset:
+    """Mix ID and OOD test sets at shift ratio ``alpha`` (paper Fig. 5).
+
+    The result has (1-α) of its *normal* trajectories drawn from the ID set
+    and α from the OOD set, while keeping all anomalies from both sets in
+    proportion, matching the paper's "mix the ID test dataset and the OOD test
+    dataset in a ratio of 1-α to α".
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError("alpha must lie in [0, 1]")
+    rng = get_rng(rng)
+
+    def split(dataset: TrajectoryDataset) -> Tuple[List, List]:
+        normals = [item for item in dataset if item.label == 0]
+        anomalies = [item for item in dataset if item.label == 1]
+        return normals, anomalies
+
+    id_norm, id_anom = split(id_dataset)
+    ood_norm, ood_anom = split(ood_dataset)
+    total_norm = min(len(id_norm), len(ood_norm)) or max(len(id_norm), len(ood_norm))
+    n_ood = int(round(alpha * total_norm))
+    n_id = total_norm - n_ood
+    total_anom = min(len(id_anom), len(ood_anom)) or max(len(id_anom), len(ood_anom))
+    a_ood = int(round(alpha * total_anom))
+    a_id = total_anom - a_ood
+
+    def take(items: List, count: int) -> List:
+        if count <= 0 or not items:
+            return []
+        order = rng.permutation(len(items))[:count]
+        return [items[int(i)] for i in order]
+
+    mixed = take(id_norm, n_id) + take(ood_norm, n_ood) + take(id_anom, a_id) + take(ood_anom, a_ood)
+    return TrajectoryDataset(
+        mixed, id_dataset.num_segments, name=f"mixed-alpha{alpha:.1f}"
+    )

@@ -1,0 +1,206 @@
+"""Trajectory data types.
+
+Mirrors the paper's definitions:
+
+* **Definition 1 (Trajectory)** — an ordered sequence of
+  ``<x, y, timestamp>`` points: :class:`GPSPoint` / :class:`Trajectory`.
+* **Definition 2 (Map-matched trajectory)** — an ordered sequence of adjacent
+  road segments: :class:`MapMatchedTrajectory`.
+* The **SD pair** ``c = <s, d>`` conditioning anomaly detection:
+  :class:`SDPair`.  In this library ``s`` and ``d`` are road-segment ids (the
+  first and last segments of the matched route), which is also how the public
+  CausalTAD reference implementation encodes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.roadnet.spatial import Point
+
+__all__ = ["GPSPoint", "Trajectory", "SDPair", "MapMatchedTrajectory", "LabeledTrajectory"]
+
+
+@dataclass(frozen=True)
+class GPSPoint:
+    """One raw GPS observation: location plus timestamp (seconds)."""
+
+    x: float
+    y: float
+    timestamp: float
+
+    @property
+    def location(self) -> Point:
+        return Point(self.x, self.y)
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A raw (not yet map-matched) trajectory — Definition 1 of the paper."""
+
+    trajectory_id: str
+    points: Tuple[GPSPoint, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 2:
+            raise ValueError("a trajectory needs at least two points")
+        times = [p.timestamp for p in self.points]
+        if any(b < a for a, b in zip(times[:-1], times[1:])):
+            raise ValueError("trajectory timestamps must be non-decreasing")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[GPSPoint]:
+        return iter(self.points)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds between the first and last point."""
+        return self.points[-1].timestamp - self.points[0].timestamp
+
+    @property
+    def source(self) -> GPSPoint:
+        return self.points[0]
+
+    @property
+    def destination(self) -> GPSPoint:
+        return self.points[-1]
+
+
+@dataclass(frozen=True, order=True)
+class SDPair:
+    """A source/destination pair of road-segment ids — the condition ``C``."""
+
+    source: int
+    destination: int
+
+    def as_tuple(self) -> Tuple[int, int]:
+        return (self.source, self.destination)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.source}->{self.destination}"
+
+
+@dataclass(frozen=True)
+class MapMatchedTrajectory:
+    """A map-matched trajectory — Definition 2 of the paper.
+
+    Attributes
+    ----------
+    trajectory_id:
+        Stable identifier (carried through anomaly generation so that a
+        synthetic anomaly can be traced back to its seed trajectory).
+    segments:
+        Ordered road-segment ids; consecutive segments are adjacent in the
+        road network (validated by the dataset builders, not here, so that
+        deliberately broken routes can be constructed in tests).
+    timestamps:
+        Optional per-segment entry times (seconds), same length as
+        ``segments``; used by the time-aware DeepTEA baseline.
+    """
+
+    trajectory_id: str
+    segments: Tuple[int, ...]
+    timestamps: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if len(self.segments) < 2:
+            raise ValueError("a map-matched trajectory needs at least two segments")
+        if self.timestamps is not None and len(self.timestamps) != len(self.segments):
+            raise ValueError("timestamps must align one-to-one with segments")
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.segments)
+
+    @property
+    def sd_pair(self) -> SDPair:
+        """The SD pair ``c = <s, d>`` of this trajectory."""
+        return SDPair(self.segments[0], self.segments[-1])
+
+    @property
+    def source(self) -> int:
+        return self.segments[0]
+
+    @property
+    def destination(self) -> int:
+        return self.segments[-1]
+
+    def prefix(self, length: int) -> "MapMatchedTrajectory":
+        """The first ``length`` segments as a new trajectory (online detection).
+
+        ``length`` is clamped to ``[2, len(self)]`` so the result is always a
+        valid trajectory.
+        """
+        length = max(2, min(length, len(self.segments)))
+        return MapMatchedTrajectory(
+            trajectory_id=self.trajectory_id,
+            segments=self.segments[:length],
+            timestamps=self.timestamps[:length] if self.timestamps is not None else None,
+        )
+
+    def observed_fraction(self, ratio: float) -> "MapMatchedTrajectory":
+        """Prefix covering ``ratio`` of the trajectory (paper's observed ratio)."""
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError("observed ratio must lie in (0, 1]")
+        return self.prefix(max(2, int(round(ratio * len(self.segments)))))
+
+    def jaccard_similarity(self, other: "MapMatchedTrajectory") -> float:
+        """Road-segment Jaccard similarity |t ∩ t'| / |t ∪ t'| (paper §VI-A2)."""
+        mine, theirs = set(self.segments), set(other.segments)
+        union = mine | theirs
+        return len(mine & theirs) / len(union) if union else 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "trajectory_id": self.trajectory_id,
+            "segments": list(self.segments),
+            "timestamps": list(self.timestamps) if self.timestamps is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "MapMatchedTrajectory":
+        timestamps = payload.get("timestamps")
+        return cls(
+            trajectory_id=payload["trajectory_id"],
+            segments=tuple(int(s) for s in payload["segments"]),
+            timestamps=tuple(float(t) for t in timestamps) if timestamps else None,
+        )
+
+
+@dataclass(frozen=True)
+class LabeledTrajectory:
+    """A trajectory paired with its anomaly ground truth.
+
+    ``label`` is 1 for anomalies (detour / switch) and 0 for normal
+    trajectories; ``anomaly_kind`` records which generator produced it.
+    """
+
+    trajectory: MapMatchedTrajectory
+    label: int
+    anomaly_kind: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.label not in (0, 1):
+            raise ValueError("label must be 0 (normal) or 1 (anomalous)")
+        if self.label == 1 and not self.anomaly_kind:
+            raise ValueError("anomalous trajectories must record their anomaly_kind")
+
+    def to_dict(self) -> Dict:
+        return {
+            "trajectory": self.trajectory.to_dict(),
+            "label": self.label,
+            "anomaly_kind": self.anomaly_kind,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "LabeledTrajectory":
+        return cls(
+            trajectory=MapMatchedTrajectory.from_dict(payload["trajectory"]),
+            label=int(payload["label"]),
+            anomaly_kind=payload.get("anomaly_kind"),
+        )

@@ -1,0 +1,49 @@
+"""Lightweight logging configuration shared across the library.
+
+Keeping a single helper avoids each module calling ``logging.basicConfig``
+with conflicting formats.  Training loops and experiment runners log progress
+at INFO level; everything else defaults to WARNING so that library users are
+not spammed.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+__all__ = ["get_logger"]
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
+_configured = False
+
+
+def _configure_root() -> None:
+    global _configured
+    if _configured:
+        return
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    root = logging.getLogger("repro")
+    if not root.handlers:
+        root.addHandler(handler)
+    root.setLevel(logging.WARNING)
+    _configured = True
+
+
+def get_logger(name: str, level: Optional[int] = None) -> logging.Logger:
+    """Return a namespaced logger under the ``repro`` hierarchy.
+
+    Parameters
+    ----------
+    name:
+        Sub-name, e.g. ``"core.trainer"`` produces the logger
+        ``repro.core.trainer``.
+    level:
+        Optional explicit level for this logger.
+    """
+    _configure_root()
+    full_name = name if name.startswith("repro") else f"repro.{name}"
+    logger = logging.getLogger(full_name)
+    if level is not None:
+        logger.setLevel(level)
+    return logger

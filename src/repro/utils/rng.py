@@ -1,0 +1,138 @@
+"""Seeded random number management.
+
+Every stochastic component of the library (weight initialisation, trajectory
+simulation, anomaly injection, VAE reparameterisation sampling) draws its
+randomness from a :class:`RandomState`, which is a thin, explicit wrapper
+around :class:`numpy.random.Generator`.
+
+Two usage patterns are supported:
+
+* **Explicit** — construct a ``RandomState(seed)`` and pass it down.  This is
+  what the experiment runners and tests do to guarantee reproducibility.
+* **Global fallback** — ``get_rng()`` returns a module-level generator seeded
+  by :func:`set_global_seed`.  Convenient for examples and quick scripts.
+
+The ``spawn_rng`` helper derives statistically independent child generators
+from a parent, so that e.g. the trajectory generator and the model initialiser
+can share one experiment seed without their random streams interfering.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["RandomState", "get_rng", "set_global_seed", "spawn_rng"]
+
+
+class RandomState:
+    """Explicit random source used throughout the library.
+
+    Parameters
+    ----------
+    seed:
+        Any value accepted by :func:`numpy.random.default_rng`.  ``None``
+        produces a non-deterministic generator.
+    """
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def seed(self) -> Optional[int]:
+        """The seed this state was created with (``None`` if unseeded)."""
+        return self._seed
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """The underlying numpy generator."""
+        return self._rng
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"RandomState(seed={self._seed!r})"
+
+    # ------------------------------------------------------------------ #
+    # sampling helpers
+    # ------------------------------------------------------------------ #
+    def normal(self, loc: float = 0.0, scale: float = 1.0, size=None) -> np.ndarray:
+        """Gaussian samples."""
+        return self._rng.normal(loc, scale, size)
+
+    def uniform(self, low: float = 0.0, high: float = 1.0, size=None) -> np.ndarray:
+        """Uniform samples in ``[low, high)``."""
+        return self._rng.uniform(low, high, size)
+
+    def integers(self, low: int, high: Optional[int] = None, size=None) -> np.ndarray:
+        """Integer samples in ``[low, high)``."""
+        return self._rng.integers(low, high, size)
+
+    def random(self, size=None) -> np.ndarray:
+        """Uniform samples in ``[0, 1)``."""
+        return self._rng.random(size)
+
+    def choice(self, a, size=None, replace: bool = True, p=None):
+        """Sample from ``a`` with optional probabilities ``p``."""
+        return self._rng.choice(a, size=size, replace=replace, p=p)
+
+    def shuffle(self, x) -> None:
+        """In-place shuffle."""
+        self._rng.shuffle(x)
+
+    def permutation(self, x) -> np.ndarray:
+        """Return a shuffled copy / permuted index array."""
+        return self._rng.permutation(x)
+
+    def exponential(self, scale: float = 1.0, size=None) -> np.ndarray:
+        """Exponential samples."""
+        return self._rng.exponential(scale, size)
+
+    def categorical(self, probabilities: Sequence[float]) -> int:
+        """Draw one index from a discrete distribution.
+
+        The distribution is renormalised defensively so that accumulated
+        floating point error in the caller never raises.
+        """
+        p = np.asarray(probabilities, dtype=np.float64)
+        total = p.sum()
+        if total <= 0:
+            raise ValueError("categorical() requires a positive-mass distribution")
+        return int(self._rng.choice(len(p), p=p / total))
+
+    def spawn(self, n: int) -> list["RandomState"]:
+        """Create ``n`` independent child random states."""
+        seeds = self._rng.integers(0, 2**31 - 1, size=n)
+        return [RandomState(int(s)) for s in seeds]
+
+
+# ---------------------------------------------------------------------- #
+# module-level convenience generator
+# ---------------------------------------------------------------------- #
+_GLOBAL_RNG = RandomState(0)
+
+
+def set_global_seed(seed: int) -> None:
+    """Re-seed the module-level fallback generator."""
+    global _GLOBAL_RNG
+    _GLOBAL_RNG = RandomState(seed)
+
+
+def get_rng(rng: Optional[RandomState] = None) -> RandomState:
+    """Return ``rng`` if given, otherwise the global fallback generator.
+
+    This is the canonical way for library functions to accept an optional
+    ``rng`` argument::
+
+        def sample_something(..., rng: RandomState | None = None):
+            rng = get_rng(rng)
+    """
+    return rng if rng is not None else _GLOBAL_RNG
+
+
+def spawn_rng(parent: Optional[RandomState], n: int) -> list[RandomState]:
+    """Derive ``n`` independent children from ``parent`` (or the global rng)."""
+    return get_rng(parent).spawn(n)

@@ -1,0 +1,84 @@
+"""Shared pytest fixtures.
+
+Heavy objects (synthetic city, benchmark data, trained models) are built once
+per session at deliberately tiny scale so that the full test suite stays fast
+while still exercising the real code paths end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import DetectorConfig
+from repro.core import CausalTAD, CausalTADConfig, Trainer, TrainingConfig
+from repro.roadnet import CityConfig, build_figure1_example, generate_arterial_city
+from repro.trajectory import BenchmarkConfig, SimulatorConfig, TrajectorySimulator, build_benchmark_data
+from repro.utils import RandomState
+
+
+TEST_CITY_CONFIG = CityConfig(name="test-city", rows=7, cols=7, num_pois=3, drop_edge_fraction=0.0)
+
+
+@pytest.fixture(scope="session")
+def rng() -> RandomState:
+    return RandomState(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_city():
+    """A small arterial city reused across the whole test session."""
+    return generate_arterial_city(TEST_CITY_CONFIG, rng=RandomState(11))
+
+
+@pytest.fixture(scope="session")
+def figure1_city():
+    """The paper's Fig. 1(b) seven-intersection example network."""
+    return build_figure1_example()
+
+
+@pytest.fixture(scope="session")
+def tiny_simulator(tiny_city):
+    return TrajectorySimulator(
+        tiny_city, config=SimulatorConfig(min_length=5, max_length=40), rng=RandomState(21)
+    )
+
+
+@pytest.fixture(scope="session")
+def benchmark_data(tiny_city):
+    """A tiny but complete benchmark bundle (train / ID / OOD / anomalies)."""
+    return build_benchmark_data(
+        city=tiny_city,
+        config=BenchmarkConfig(
+            num_sd_pairs=8,
+            trajectories_per_pair=8,
+            num_ood_trajectories=30,
+            simulator=SimulatorConfig(min_length=5, max_length=40),
+        ),
+        rng=RandomState(31),
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_model_config(benchmark_data) -> CausalTADConfig:
+    return CausalTADConfig.tiny(benchmark_data.num_segments)
+
+
+@pytest.fixture(scope="session")
+def trained_causal_tad(benchmark_data, tiny_model_config):
+    """A CausalTAD model trained for a handful of epochs on the tiny data."""
+    model = CausalTAD(tiny_model_config, network=benchmark_data.city.network, rng=RandomState(41))
+    trainer = Trainer(
+        model,
+        TrainingConfig(epochs=6, batch_size=16, learning_rate=0.02, seed=41),
+        rng=RandomState(42),
+    )
+    trainer.fit(benchmark_data.train)
+    return model
+
+
+@pytest.fixture(scope="session")
+def tiny_detector_config(benchmark_data) -> DetectorConfig:
+    return DetectorConfig.tiny(
+        benchmark_data.num_segments,
+        training=TrainingConfig(epochs=4, batch_size=16, learning_rate=0.02),
+    )

@@ -1,0 +1,63 @@
+"""Tests for CausalTAD and training configuration objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CausalTADConfig, TrainingConfig
+
+
+class TestCausalTADConfig:
+    def test_vocab_and_pad(self):
+        config = CausalTADConfig(num_segments=100)
+        assert config.vocab_size == 101
+        assert config.pad_id == 100
+
+    def test_presets(self):
+        paper = CausalTADConfig.paper(50)
+        assert paper.hidden_dim == 128
+        small = CausalTADConfig.small(50)
+        tiny = CausalTADConfig.tiny(50)
+        assert tiny.hidden_dim < small.hidden_dim < paper.hidden_dim
+
+    def test_with_lambda_copies(self):
+        config = CausalTADConfig(num_segments=10, lambda_weight=0.1)
+        other = config.with_lambda(0.5)
+        assert other.lambda_weight == 0.5
+        assert config.lambda_weight == 0.1
+        assert other.num_segments == 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_segments": 1},
+            {"num_segments": 10, "hidden_dim": 0},
+            {"num_segments": 10, "latent_dim": -1},
+            {"num_segments": 10, "lambda_weight": -0.1},
+            {"num_segments": 10, "kl_weight": -1.0},
+            {"num_segments": 10, "num_scaling_samples": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            CausalTADConfig(**kwargs)
+
+
+class TestTrainingConfig:
+    def test_presets(self):
+        assert TrainingConfig.paper().epochs == 200
+        assert TrainingConfig.fast().epochs < TrainingConfig.paper().epochs
+        assert TrainingConfig.tiny().epochs <= 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epochs": 0},
+            {"batch_size": 0},
+            {"learning_rate": 0.0},
+            {"validation_fraction": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TrainingConfig(**kwargs)

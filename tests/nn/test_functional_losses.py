@@ -1,0 +1,180 @@
+"""Tests for functional ops (softmax family, one-hot, dropout) and losses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    NEG_INF,
+    Tensor,
+    cross_entropy_from_logits,
+    cross_entropy_from_log_probs,
+    dropout,
+    gaussian_kl,
+    gaussian_kl_standard,
+    log_softmax,
+    logsumexp,
+    masked_log_softmax,
+    mse_loss,
+    one_hot,
+    sequence_nll,
+    softmax,
+)
+from repro.utils import RandomState
+
+
+class TestSoftmaxFamily:
+    def test_softmax_sums_to_one(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(4, 7)))
+        probs = softmax(logits, axis=-1)
+        np.testing.assert_allclose(probs.data.sum(axis=-1), np.ones(4), atol=1e-12)
+
+    def test_log_softmax_matches_manual(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        expected = logits - np.log(np.exp(logits).sum())
+        np.testing.assert_allclose(log_softmax(Tensor(logits)).data, expected, atol=1e-12)
+
+    def test_log_softmax_stable_for_large_logits(self):
+        logits = Tensor(np.array([[1000.0, 1001.0]]))
+        out = log_softmax(logits).data
+        assert np.isfinite(out).all()
+
+    def test_masked_log_softmax_blocks_masked_positions(self):
+        logits = Tensor(np.zeros((1, 4)))
+        mask = np.array([[True, False, True, False]])
+        out = masked_log_softmax(logits, mask).data
+        assert out[0, 1] <= NEG_INF / 2
+        assert out[0, 3] <= NEG_INF / 2
+        np.testing.assert_allclose(np.exp(out[0, [0, 2]]).sum(), 1.0, atol=1e-9)
+
+    def test_masked_log_softmax_requires_one_allowed(self):
+        with pytest.raises(ValueError):
+            masked_log_softmax(Tensor(np.zeros((1, 3))), np.zeros((1, 3), dtype=bool))
+
+    def test_logsumexp_matches_numpy(self):
+        x = np.random.default_rng(1).normal(size=(3, 5))
+        expected = np.log(np.exp(x).sum(axis=-1))
+        np.testing.assert_allclose(logsumexp(Tensor(x), axis=-1).data, expected, atol=1e-10)
+
+    def test_logsumexp_keepdims(self):
+        x = Tensor(np.zeros((2, 3)))
+        assert logsumexp(x, axis=-1, keepdims=True).shape == (2, 1)
+
+
+class TestOneHotDropout:
+    def test_one_hot_values(self):
+        out = one_hot(np.array([0, 2]), num_classes=3)
+        np.testing.assert_allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_one_hot_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), num_classes=3)
+
+    def test_dropout_eval_is_identity(self):
+        x = Tensor(np.ones((10, 10)))
+        out = dropout(x, p=0.5, training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_dropout_training_scales_kept_units(self):
+        rng = RandomState(0)
+        x = Tensor(np.ones((200, 200)))
+        out = dropout(x, p=0.5, training=True, rng=rng).data
+        kept = out[out > 0]
+        np.testing.assert_allclose(kept, 2.0)
+        assert 0.4 < (out > 0).mean() < 0.6
+
+    def test_dropout_rejects_invalid_p(self):
+        with pytest.raises(ValueError):
+            dropout(Tensor(np.ones(3)), p=1.0, training=True)
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self):
+        logits = np.array([[2.0, 1.0, 0.0]])
+        targets = np.array([0])
+        log_probs = logits - np.log(np.exp(logits).sum())
+        expected = -log_probs[0, 0]
+        out = cross_entropy_from_logits(Tensor(logits), targets, reduction="mean")
+        assert out.item() == pytest.approx(expected)
+
+    def test_reductions(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(4, 5)))
+        targets = np.array([0, 1, 2, 3])
+        none = cross_entropy_from_logits(logits, targets, reduction="none")
+        total = cross_entropy_from_logits(logits, targets, reduction="sum")
+        mean = cross_entropy_from_logits(logits, targets, reduction="mean")
+        assert none.shape == (4,)
+        assert total.item() == pytest.approx(none.data.sum())
+        assert mean.item() == pytest.approx(none.data.mean())
+
+    def test_unknown_reduction_raises(self):
+        with pytest.raises(ValueError):
+            cross_entropy_from_logits(Tensor(np.zeros((1, 2))), np.array([0]), reduction="bogus")
+
+    def test_gradient_is_softmax_minus_onehot(self):
+        logits = Tensor(np.array([[1.0, 2.0, 3.0]]), requires_grad=True)
+        cross_entropy_from_logits(logits, np.array([1]), reduction="sum").backward()
+        probs = np.exp(logits.data) / np.exp(logits.data).sum()
+        expected = probs.copy()
+        expected[0, 1] -= 1.0
+        np.testing.assert_allclose(logits.grad, expected, atol=1e-10)
+
+
+class TestSequenceNLL:
+    def test_mask_excludes_padding(self):
+        log_probs = Tensor(np.log(np.full((1, 3, 2), 0.5)))
+        targets = np.array([[0, 1, 0]])
+        mask = np.array([[True, True, False]])
+        loss = sequence_nll(log_probs, targets, mask=mask, reduction="sum")
+        assert loss.item() == pytest.approx(2 * np.log(2.0))
+
+    def test_mean_divides_by_valid_count(self):
+        log_probs = Tensor(np.log(np.full((2, 2, 2), 0.5)))
+        targets = np.zeros((2, 2), dtype=np.int64)
+        mask = np.array([[True, False], [True, True]])
+        loss = sequence_nll(log_probs, targets, mask=mask, reduction="mean")
+        assert loss.item() == pytest.approx(np.log(2.0))
+
+    def test_none_reduction_zeroes_masked_positions(self):
+        log_probs = Tensor(np.log(np.full((1, 2, 2), 0.5)))
+        targets = np.zeros((1, 2), dtype=np.int64)
+        mask = np.array([[True, False]])
+        out = sequence_nll(log_probs, targets, mask=mask, reduction="none")
+        assert out.data[0, 1] == 0.0
+
+
+class TestGaussianKL:
+    def test_standard_kl_zero_for_standard_normal(self):
+        mu = Tensor(np.zeros((3, 4)))
+        logvar = Tensor(np.zeros((3, 4)))
+        assert gaussian_kl_standard(mu, logvar, reduction="sum").item() == pytest.approx(0.0)
+
+    def test_standard_kl_closed_form(self):
+        mu = np.array([[1.0, -2.0]])
+        logvar = np.array([[0.5, -0.3]])
+        expected = 0.5 * (np.exp(logvar) + mu**2 - 1.0 - logvar).sum()
+        out = gaussian_kl_standard(Tensor(mu), Tensor(logvar), reduction="sum")
+        assert out.item() == pytest.approx(expected)
+
+    def test_general_kl_reduces_to_standard(self):
+        rng = np.random.default_rng(0)
+        mu = Tensor(rng.normal(size=(2, 3)))
+        logvar = Tensor(rng.normal(size=(2, 3)) * 0.1)
+        zeros = Tensor(np.zeros((2, 3)))
+        general = gaussian_kl(mu, logvar, zeros, zeros, reduction="sum")
+        standard = gaussian_kl_standard(mu, logvar, reduction="sum")
+        assert general.item() == pytest.approx(standard.item(), abs=1e-10)
+
+    def test_kl_nonnegative(self):
+        rng = np.random.default_rng(3)
+        mu = Tensor(rng.normal(size=(10, 5)))
+        logvar = Tensor(rng.normal(size=(10, 5)))
+        kl = gaussian_kl_standard(mu, logvar, reduction="none")
+        assert (kl.data >= -1e-9).all()
+
+
+class TestMSE:
+    def test_mse_value(self):
+        out = mse_loss(Tensor(np.array([1.0, 2.0])), np.array([0.0, 4.0]), reduction="mean")
+        assert out.item() == pytest.approx((1.0 + 4.0) / 2)

@@ -1,0 +1,158 @@
+"""Tests for optimisers, gradient clipping, initialisers and checkpointing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Linear,
+    Module,
+    Parameter,
+    SGD,
+    Tensor,
+    clip_grad_norm,
+    load_checkpoint,
+    load_state_dict,
+    save_checkpoint,
+    save_state_dict,
+)
+from repro.nn import init as nn_init
+from repro.utils import RandomState
+
+
+def quadratic_loss(param: Parameter) -> Tensor:
+    """(p - 3)^2 summed — minimised at p == 3."""
+    diff = param - Tensor(np.full(param.shape, 3.0))
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(4))
+        optimizer = SGD([param], lr=0.1)
+        for _ in range(100):
+            optimizer.zero_grad()
+            quadratic_loss(param).backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, np.full(4, 3.0), atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        plain = Parameter(np.zeros(1))
+        momentum = Parameter(np.zeros(1))
+        opt_plain = SGD([plain], lr=0.01)
+        opt_momentum = SGD([momentum], lr=0.01, momentum=0.9)
+        for _ in range(20):
+            for param, opt in ((plain, opt_plain), (momentum, opt_momentum)):
+                opt.zero_grad()
+                quadratic_loss(param).backward()
+                opt.step()
+        assert abs(momentum.data[0] - 3.0) < abs(plain.data[0] - 3.0)
+
+    def test_weight_decay_shrinks_parameters(self):
+        param = Parameter(np.ones(3) * 10.0)
+        optimizer = SGD([param], lr=0.1, weight_decay=1.0)
+        optimizer.zero_grad()
+        (param * 0.0).sum().backward()
+        optimizer.step()
+        assert (param.data < 10.0).all()
+
+    def test_rejects_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(4))
+        optimizer = Adam([param], lr=0.2)
+        for _ in range(200):
+            optimizer.zero_grad()
+            quadratic_loss(param).backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, np.full(4, 3.0), atol=1e-2)
+
+    def test_skips_parameters_without_grad(self):
+        with_grad = Parameter(np.zeros(2))
+        without_grad = Parameter(np.ones(2))
+        optimizer = Adam([with_grad, without_grad], lr=0.1)
+        optimizer.zero_grad()
+        quadratic_loss(with_grad).backward()
+        optimizer.step()
+        np.testing.assert_allclose(without_grad.data, np.ones(2))
+        assert not np.allclose(with_grad.data, 0.0)
+
+    def test_rejects_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.1, betas=(1.0, 0.999))
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradients(self):
+        param = Parameter(np.zeros(3))
+        param.grad = np.array([3.0, 4.0, 0.0])
+        norm = clip_grad_norm([param], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        np.testing.assert_allclose(np.linalg.norm(param.grad), 1.0, atol=1e-9)
+
+    def test_leaves_small_gradients_untouched(self):
+        param = Parameter(np.zeros(2))
+        param.grad = np.array([0.1, 0.1])
+        clip_grad_norm([param], max_norm=10.0)
+        np.testing.assert_allclose(param.grad, [0.1, 0.1])
+
+    def test_handles_no_gradients(self):
+        assert clip_grad_norm([Parameter(np.zeros(2))], max_norm=1.0) == 0.0
+
+
+class TestInitialisers:
+    def test_xavier_uniform_bound(self):
+        rng = RandomState(0)
+        weights = nn_init.xavier_uniform((100, 50), rng=rng)
+        bound = np.sqrt(6.0 / 150)
+        assert np.abs(weights).max() <= bound + 1e-12
+
+    def test_xavier_normal_std(self):
+        rng = RandomState(0)
+        weights = nn_init.xavier_normal((500, 500), rng=rng)
+        assert weights.std() == pytest.approx(np.sqrt(2.0 / 1000), rel=0.1)
+
+    def test_orthogonal_columns(self):
+        rng = RandomState(0)
+        q = nn_init.orthogonal((6, 6), rng=rng)
+        np.testing.assert_allclose(q @ q.T, np.eye(6), atol=1e-8)
+
+    def test_zeros(self):
+        np.testing.assert_allclose(nn_init.zeros((3, 2)), np.zeros((3, 2)))
+
+    def test_fans_require_shape(self):
+        with pytest.raises(ValueError):
+            nn_init.xavier_uniform(())
+
+
+class TestSerialization:
+    def test_state_dict_roundtrip(self, tmp_path):
+        state = {"a.weight": np.arange(6, dtype=np.float64).reshape(2, 3), "b": np.zeros(4)}
+        path = save_state_dict(state, tmp_path / "ckpt.npz", metadata={"epoch": 3})
+        loaded, metadata = load_state_dict(path)
+        assert metadata == {"epoch": 3}
+        np.testing.assert_allclose(loaded["a.weight"], state["a.weight"])
+        np.testing.assert_allclose(loaded["b"], state["b"])
+
+    def test_checkpoint_restores_module(self, tmp_path):
+        model1 = Linear(4, 3, rng=RandomState(0))
+        model2 = Linear(4, 3, rng=RandomState(99))
+        save_checkpoint(model1, tmp_path / "model.npz", metadata={"note": "test"})
+        metadata = load_checkpoint(model2, tmp_path / "model.npz")
+        assert metadata["note"] == "test"
+        np.testing.assert_allclose(model1.weight.data, model2.weight.data)
+
+    def test_missing_suffix_resolved(self, tmp_path):
+        model = Linear(2, 2, rng=RandomState(0))
+        save_checkpoint(model, tmp_path / "weights")
+        load_checkpoint(model, tmp_path / "weights")

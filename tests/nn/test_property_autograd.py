@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) for the autograd engine.
+
+These complement the example-based gradient checks with randomly generated
+shapes and values, asserting the algebraic invariants any correct reverse-mode
+implementation must satisfy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor, log_softmax, softmax, logsumexp
+
+SETTINGS = dict(max_examples=40, deadline=None)
+
+finite_floats = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False)
+
+
+def small_arrays(min_side: int = 1, max_side: int = 4, max_dims: int = 2):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=hnp.array_shapes(min_dims=1, max_dims=max_dims, min_side=min_side, max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+@settings(**SETTINGS)
+@given(small_arrays())
+def test_sum_gradient_is_ones(x):
+    t = Tensor(x, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(x))
+
+
+@settings(**SETTINGS)
+@given(small_arrays())
+def test_mean_gradient_is_uniform(x):
+    t = Tensor(x, requires_grad=True)
+    t.mean().backward()
+    np.testing.assert_allclose(t.grad, np.full_like(x, 1.0 / x.size))
+
+
+@settings(**SETTINGS)
+@given(small_arrays())
+def test_addition_is_commutative_in_value_and_grad(x):
+    a1 = Tensor(x, requires_grad=True)
+    a2 = Tensor(x, requires_grad=True)
+    other = Tensor(np.ones_like(x) * 2.0)
+    (a1 + other).sum().backward()
+    (other + a2).sum().backward()
+    np.testing.assert_allclose(a1.grad, a2.grad)
+
+
+@settings(**SETTINGS)
+@given(small_arrays())
+def test_mul_gradient_matches_product_rule(x):
+    a = Tensor(x, requires_grad=True)
+    b = Tensor(x * 0.5 + 1.0)
+    (a * b).sum().backward()
+    np.testing.assert_allclose(a.grad, b.data)
+
+
+@settings(**SETTINGS)
+@given(small_arrays())
+def test_tanh_gradient_bounded_by_one(x):
+    t = Tensor(x, requires_grad=True)
+    t.tanh().sum().backward()
+    assert (np.abs(t.grad) <= 1.0 + 1e-12).all()
+
+
+@settings(**SETTINGS)
+@given(small_arrays())
+def test_sigmoid_output_in_unit_interval(x):
+    out = Tensor(x).sigmoid().data
+    assert ((out > 0) & (out < 1)).all()
+
+
+@settings(**SETTINGS)
+@given(small_arrays(min_side=2))
+def test_reshape_preserves_values_and_gradient_total(x):
+    t = Tensor(x, requires_grad=True)
+    reshaped = t.reshape(-1) if x.ndim > 1 else t.reshape(x.shape)
+    (reshaped * 2.0).sum().backward()
+    np.testing.assert_allclose(t.grad, np.full_like(x, 2.0))
+
+
+@settings(**SETTINGS)
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 5), st.integers(2, 6)),
+        elements=finite_floats,
+    )
+)
+def test_softmax_rows_are_distributions(logits):
+    probs = softmax(Tensor(logits), axis=-1).data
+    assert (probs >= 0).all()
+    np.testing.assert_allclose(probs.sum(axis=-1), np.ones(logits.shape[0]), atol=1e-9)
+
+
+@settings(**SETTINGS)
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 5), st.integers(2, 6)),
+        elements=finite_floats,
+    ),
+    st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+)
+def test_log_softmax_invariant_to_constant_shift(logits, shift):
+    base = log_softmax(Tensor(logits), axis=-1).data
+    shifted = log_softmax(Tensor(logits + shift), axis=-1).data
+    np.testing.assert_allclose(base, shifted, atol=1e-8)
+
+
+@settings(**SETTINGS)
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 4), st.integers(2, 6)),
+        elements=finite_floats,
+    )
+)
+def test_logsumexp_upper_bounds_max(x):
+    lse = logsumexp(Tensor(x), axis=-1).data
+    assert (lse >= x.max(axis=-1) - 1e-9).all()
+    assert (lse <= x.max(axis=-1) + np.log(x.shape[-1]) + 1e-9).all()
+
+
+@settings(**SETTINGS)
+@given(small_arrays(), small_arrays())
+def test_broadcast_gradient_shapes_match_inputs(x, y):
+    # Only test compatible trailing dimensions by reshaping y to a scalar.
+    a = Tensor(x, requires_grad=True)
+    b = Tensor(np.array(float(y.flat[0])), requires_grad=True)
+    (a * b).sum().backward()
+    assert a.grad.shape == x.shape
+    assert b.grad.shape == ()
+    np.testing.assert_allclose(b.grad, x.sum())

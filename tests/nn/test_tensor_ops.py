@@ -1,0 +1,259 @@
+"""Unit tests for the autograd Tensor: forward values and backward gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, as_tensor, concatenate, stack, no_grad, is_grad_enabled
+
+
+def numeric_gradient(fn, x0: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued function of one array."""
+    grad = np.zeros_like(x0, dtype=np.float64)
+    for index in np.ndindex(*x0.shape):
+        plus = x0.copy()
+        minus = x0.copy()
+        plus[index] += eps
+        minus[index] -= eps
+        grad[index] = (fn(Tensor(plus)).item() - fn(Tensor(minus)).item()) / (2 * eps)
+    return grad
+
+
+def analytic_gradient(fn, x0: np.ndarray) -> np.ndarray:
+    x = Tensor(x0.copy(), requires_grad=True)
+    fn(x).backward()
+    return x.grad
+
+
+def assert_gradients_match(fn, x0: np.ndarray, atol: float = 1e-6) -> None:
+    np.testing.assert_allclose(analytic_gradient(fn, x0), numeric_gradient(fn, x0), atol=atol)
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.ndim == 2
+        assert t.size == 4
+
+    def test_integer_input_promoted_to_float(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert np.issubdtype(t.dtype, np.floating)
+
+    def test_item_on_scalar(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_detach_breaks_graph(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = (x * 2).detach()
+        assert not y.requires_grad
+
+    def test_copy_is_independent(self):
+        x = Tensor([1.0, 2.0])
+        y = x.copy()
+        y.data[0] = 99.0
+        assert x.data[0] == 1.0
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((5, 2)))) == 5
+
+    def test_as_tensor_passthrough(self):
+        x = Tensor([1.0])
+        assert as_tensor(x) is x
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_requires_scalar_without_grad_arg(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 3).sum().backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_gradients_accumulate_across_backward_calls(self):
+        x = Tensor([2.0], requires_grad=True)
+        (x * 3).sum().backward()
+        (x * 3).sum().backward()
+        np.testing.assert_allclose(x.grad, [6.0])
+
+
+class TestArithmetic:
+    def test_add_values(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_add_scalar(self):
+        np.testing.assert_allclose((Tensor([1.0]) + 2.0).data, [3.0])
+
+    def test_radd(self):
+        np.testing.assert_allclose((2.0 + Tensor([1.0])).data, [3.0])
+
+    def test_sub_and_rsub(self):
+        np.testing.assert_allclose((Tensor([5.0]) - 2.0).data, [3.0])
+        np.testing.assert_allclose((2.0 - Tensor([5.0])).data, [-3.0])
+
+    def test_mul_div(self):
+        np.testing.assert_allclose((Tensor([2.0]) * Tensor([3.0])).data, [6.0])
+        np.testing.assert_allclose((Tensor([6.0]) / 2.0).data, [3.0])
+        np.testing.assert_allclose((6.0 / Tensor([2.0])).data, [3.0])
+
+    def test_neg(self):
+        np.testing.assert_allclose((-Tensor([1.0, -2.0])).data, [-1.0, 2.0])
+
+    def test_pow(self):
+        np.testing.assert_allclose((Tensor([2.0]) ** 3).data, [8.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([3.0])
+
+    def test_matmul_values(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        b = Tensor([[5.0], [6.0]])
+        np.testing.assert_allclose((a @ b).data, [[17.0], [39.0]])
+
+    def test_comparisons_return_arrays(self):
+        mask = Tensor([1.0, 3.0]) > 2.0
+        assert mask.dtype == bool
+        np.testing.assert_array_equal(mask, [False, True])
+
+
+class TestGradients:
+    def setup_method(self):
+        self.rng = np.random.default_rng(0)
+
+    def test_add_gradient(self):
+        x0 = self.rng.normal(size=(3, 2))
+        assert_gradients_match(lambda x: (x + 2.0).sum(), x0)
+
+    def test_mul_gradient(self):
+        x0 = self.rng.normal(size=(3, 2))
+        assert_gradients_match(lambda x: (x * x).sum(), x0)
+
+    def test_div_gradient(self):
+        x0 = self.rng.normal(size=(3,)) + 3.0
+        assert_gradients_match(lambda x: (2.0 / x).sum(), x0)
+
+    def test_pow_gradient(self):
+        x0 = np.abs(self.rng.normal(size=(4,))) + 0.5
+        assert_gradients_match(lambda x: (x**3).sum(), x0)
+
+    def test_matmul_gradient(self):
+        x0 = self.rng.normal(size=(3, 4))
+        w = Tensor(self.rng.normal(size=(4, 2)))
+        assert_gradients_match(lambda x: (x @ w).sum(), x0)
+
+    def test_exp_log_gradient(self):
+        x0 = np.abs(self.rng.normal(size=(3,))) + 0.5
+        assert_gradients_match(lambda x: (x.exp() + x.log()).sum(), x0)
+
+    def test_tanh_sigmoid_relu_gradient(self):
+        x0 = self.rng.normal(size=(5,))
+        assert_gradients_match(lambda x: (x.tanh() + x.sigmoid() + x.relu()).sum(), x0, atol=1e-5)
+
+    def test_broadcast_add_gradient(self):
+        x0 = self.rng.normal(size=(1, 4))
+        other = Tensor(self.rng.normal(size=(3, 4)))
+        assert_gradients_match(lambda x: (x + other).sum(), x0)
+
+    def test_broadcast_mul_gradient(self):
+        x0 = self.rng.normal(size=(3, 1))
+        other = Tensor(self.rng.normal(size=(3, 4)))
+        assert_gradients_match(lambda x: (x * other).sum(), x0)
+
+    def test_mean_gradient(self):
+        x0 = self.rng.normal(size=(3, 4))
+        assert_gradients_match(lambda x: x.mean(), x0)
+
+    def test_sum_axis_gradient(self):
+        x0 = self.rng.normal(size=(3, 4))
+        assert_gradients_match(lambda x: (x.sum(axis=1) ** 2).sum(), x0)
+
+    def test_max_gradient(self):
+        x0 = self.rng.normal(size=(3, 4))
+        assert_gradients_match(lambda x: x.max(axis=1).sum(), x0, atol=1e-5)
+
+    def test_reshape_transpose_gradient(self):
+        x0 = self.rng.normal(size=(2, 6))
+        assert_gradients_match(lambda x: (x.reshape(3, 4).transpose() * 2).sum(), x0)
+
+    def test_getitem_gradient(self):
+        x0 = self.rng.normal(size=(4, 5))
+        assert_gradients_match(lambda x: (x[1:3, ::2] ** 2).sum(), x0)
+
+    def test_squeeze_unsqueeze_gradient(self):
+        x0 = self.rng.normal(size=(3, 1, 4))
+        assert_gradients_match(lambda x: (x.squeeze(1).unsqueeze(0) * 3).sum(), x0)
+
+    def test_clip_gradient_zero_outside_range(self):
+        x = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        x.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_masked_fill_gradient(self):
+        x0 = self.rng.normal(size=(3, 3))
+        mask = np.eye(3, dtype=bool)
+        assert_gradients_match(lambda x: (x.masked_fill(mask, 0.0) ** 2).sum(), x0)
+
+    def test_index_select_gradient_accumulates_repeats(self):
+        weights = Tensor(np.arange(12, dtype=np.float64).reshape(4, 3), requires_grad=True)
+        picked = weights.index_select(np.array([0, 0, 2]))
+        picked.sum().backward()
+        expected = np.zeros((4, 3))
+        expected[0] = 2.0
+        expected[2] = 1.0
+        np.testing.assert_allclose(weights.grad, expected)
+
+    def test_gather_last_gradient(self):
+        x0 = self.rng.normal(size=(3, 5))
+        idx = np.array([1, 0, 4])
+        assert_gradients_match(lambda x: x.gather_last(idx).sum(), x0)
+
+    def test_diamond_graph_gradient(self):
+        # y = x*x + x used twice: gradients must accumulate through both paths.
+        x0 = self.rng.normal(size=(3,))
+        assert_gradients_match(lambda x: ((x * x) + (x * 3.0)).sum(), x0)
+
+
+class TestConcatStack:
+    def test_concatenate_values_and_grad(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.full((2, 2), 2.0), requires_grad=True)
+        out = concatenate([a, b], axis=1)
+        assert out.shape == (2, 5)
+        (out * 2).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 3), 2.0))
+        np.testing.assert_allclose(b.grad, np.full((2, 2), 2.0))
+
+    def test_stack_values_and_grad(self):
+        parts = [Tensor(np.full((3,), float(i)), requires_grad=True) for i in range(4)]
+        out = stack(parts, axis=0)
+        assert out.shape == (4, 3)
+        out.sum().backward()
+        for part in parts:
+            np.testing.assert_allclose(part.grad, np.ones(3))
+
+
+class TestNoGrad:
+    def test_no_grad_disables_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            y = x * 2
+        assert is_grad_enabled()
+        assert not y.requires_grad
+
+    def test_no_grad_nesting_restores_state(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()

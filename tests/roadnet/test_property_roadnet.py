@@ -1,0 +1,68 @@
+"""Property-based tests for the road-network substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.roadnet import dijkstra_route, generate_grid_city
+from repro.utils import RandomState
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+@settings(**SETTINGS)
+@given(rows=st.integers(2, 5), cols=st.integers(2, 5))
+def test_grid_city_segment_count_formula(rows, cols):
+    net = generate_grid_city(rows, cols)
+    horizontal = rows * (cols - 1)
+    vertical = cols * (rows - 1)
+    assert net.num_segments == 2 * (horizontal + vertical)
+    assert net.num_intersections == rows * cols
+
+
+@settings(**SETTINGS)
+@given(rows=st.integers(3, 5), cols=st.integers(3, 5), seed=st.integers(0, 1000))
+def test_dijkstra_routes_are_valid_and_optimal(rows, cols, seed):
+    net = generate_grid_city(rows, cols, block_size=100.0)
+    rng = RandomState(seed)
+    source = int(rng.integers(0, net.num_intersections))
+    target = int(rng.integers(0, net.num_intersections))
+    route = dijkstra_route(net, source, target)
+    if source == target:
+        assert route == []
+        return
+    assert route is not None
+    assert net.is_valid_route(route)
+    assert net.segment(route[0]).start_node == source
+    assert net.segment(route[-1]).end_node == target
+    # Manhattan distance on a uniform grid is the optimum.
+    sr, sc = divmod(source, cols)
+    tr, tc = divmod(target, cols)
+    manhattan = (abs(sr - tr) + abs(sc - tc)) * 100.0
+    assert net.route_length(route) == pytest.approx(manhattan)
+
+
+@settings(**SETTINGS)
+@given(rows=st.integers(3, 4), cols=st.integers(3, 4))
+def test_transition_mask_row_sums_match_out_degree(rows, cols):
+    net = generate_grid_city(rows, cols)
+    mask = net.transition_mask()
+    for segment in net.segments():
+        out_degree = len(net.out_segments(segment.end_node))
+        assert mask[segment.segment_id].sum() == out_degree
+
+
+@settings(**SETTINGS)
+@given(seed=st.integers(0, 10_000))
+def test_successive_segments_in_dijkstra_route_share_nodes(seed):
+    net = generate_grid_city(4, 4)
+    rng = RandomState(seed)
+    source = int(rng.integers(0, 16))
+    target = int(rng.integers(0, 16))
+    route = dijkstra_route(net, source, target)
+    if not route:
+        return
+    for a, b in zip(route[:-1], route[1:]):
+        assert net.segment(a).end_node == net.segment(b).start_node

@@ -1,0 +1,200 @@
+"""Tests for shortest-path routines, the preference field and city generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.roadnet import (
+    CityConfig,
+    PointOfInterest,
+    Point,
+    RoadClass,
+    RoadPreferenceField,
+    build_figure1_example,
+    dijkstra_distances,
+    dijkstra_route,
+    generate_arterial_city,
+    generate_grid_city,
+    k_shortest_routes,
+    route_between_segments,
+)
+from repro.utils import RandomState
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return generate_grid_city(4, 4, block_size=100.0)
+
+
+class TestDijkstra:
+    def test_route_is_valid_and_reaches_target(self, grid):
+        route = dijkstra_route(grid, 0, 15)
+        assert route is not None
+        assert grid.is_valid_route(route)
+        assert grid.segment(route[0]).start_node == 0
+        assert grid.segment(route[-1]).end_node == 15
+
+    def test_route_is_shortest_vs_networkx(self, grid):
+        import networkx as nx
+
+        route = dijkstra_route(grid, 0, 15)
+        graph = grid.to_networkx()
+        expected = nx.shortest_path_length(graph, 0, 15, weight="length")
+        assert grid.route_length(route) == pytest.approx(expected)
+
+    def test_same_source_and_target(self, grid):
+        assert dijkstra_route(grid, 3, 3) == []
+
+    def test_banned_segment_forces_detour(self, grid):
+        direct = dijkstra_route(grid, 0, 3)
+        banned = {direct[0]}
+        detour = dijkstra_route(grid, 0, 3, banned_segments=banned)
+        assert detour is not None
+        assert detour[0] not in banned
+        assert grid.route_length(detour) >= grid.route_length(direct)
+
+    def test_unreachable_returns_none(self):
+        from repro.roadnet import RoadNetwork
+
+        net = RoadNetwork()
+        net.add_intersection(0, 0, 0)
+        net.add_intersection(1, 100, 0)
+        net.add_intersection(2, 200, 0)
+        net.add_segment(0, 1)
+        assert dijkstra_route(net, 0, 2) is None
+
+    def test_negative_weight_rejected(self, grid):
+        with pytest.raises(ValueError):
+            dijkstra_route(grid, 0, 15, weight=lambda seg: -1.0)
+
+    def test_distances_include_all_reachable(self, grid):
+        distances = dijkstra_distances(grid, 0)
+        assert len(distances) == grid.num_intersections
+        assert distances[0] == 0.0
+        assert distances[15] == pytest.approx(600.0)
+
+
+class TestRouteBetweenSegments:
+    def test_endpoints_included(self, grid):
+        a = grid.segments()[0].segment_id
+        b = grid.segments()[-1].segment_id
+        route = route_between_segments(grid, a, b)
+        assert route is not None
+        assert route[0] == a and route[-1] == b
+        assert grid.is_valid_route(route)
+
+    def test_adjacent_segments(self, grid):
+        first = grid.segments()[0]
+        followers = grid.successor_segments(first.segment_id)
+        route = route_between_segments(grid, first.segment_id, followers[0])
+        assert route == [first.segment_id, followers[0]]
+
+
+class TestKShortest:
+    def test_routes_are_distinct_valid_and_sorted(self, grid):
+        routes = k_shortest_routes(grid, 0, 15, k=4)
+        assert 1 <= len(routes) <= 4
+        lengths = [grid.route_length(r) for r in routes]
+        assert lengths == sorted(lengths)
+        assert len({tuple(r) for r in routes}) == len(routes)
+        for route in routes:
+            assert grid.is_valid_route(route)
+
+    def test_k_zero(self, grid):
+        assert k_shortest_routes(grid, 0, 15, k=0) == []
+
+
+class TestPreferenceField:
+    def test_arterials_more_attractive_than_locals(self):
+        city = generate_arterial_city(CityConfig(name="c", rows=7, cols=7, preference_noise=0.0),
+                                      rng=RandomState(0))
+        attractiveness = city.preference.attractiveness
+        arterial = [s.segment_id for s in city.network.segments() if s.road_class == RoadClass.ARTERIAL]
+        local = [s.segment_id for s in city.network.segments() if s.road_class == RoadClass.LOCAL]
+        assert attractiveness[arterial].mean() > attractiveness[local].mean()
+
+    def test_poi_raises_nearby_destination_weight(self):
+        net = generate_grid_city(5, 5, block_size=100.0)
+        poi = PointOfInterest("mall", Point(0.0, 0.0), weight=5.0, radius=150.0)
+        field = RoadPreferenceField(net, pois=[poi], noise_std=0.0, rng=RandomState(0))
+        weights = field.destination_weights
+        near = [s.segment_id for s in net.segments()
+                if net.segment_midpoint(s.segment_id).distance_to(Point(0, 0)) < 150]
+        far = [s.segment_id for s in net.segments()
+               if net.segment_midpoint(s.segment_id).distance_to(Point(0, 0)) > 400]
+        assert weights[near].mean() > weights[far].mean()
+
+    def test_segment_cost_decreases_with_attractiveness(self):
+        net = generate_grid_city(3, 3)
+        field = RoadPreferenceField(net, noise_std=0.0)
+        seg = net.segments()[0].segment_id
+        assert field.segment_cost(seg, preference_strength=0.0) == pytest.approx(
+            net.segment(seg).length
+        )
+        assert field.segment_cost(seg, preference_strength=2.0) > 0
+
+    def test_confounded_destination_sampling_prefers_popular_segments(self):
+        city = generate_arterial_city(CityConfig(name="c", rows=7, cols=7, num_pois=3),
+                                      rng=RandomState(3))
+        rng = RandomState(5)
+        samples = [city.preference.sample_destination_segment(rng) for _ in range(500)]
+        sampled_attraction = city.preference.destination_weights[samples].mean()
+        uniform_attraction = city.preference.destination_weights.mean()
+        assert sampled_attraction > uniform_attraction
+
+    def test_uniform_sampling_covers_range(self):
+        city = generate_arterial_city(CityConfig(name="c", rows=5, cols=5), rng=RandomState(1))
+        rng = RandomState(2)
+        samples = {city.preference.sample_uniform_segment(rng) for _ in range(300)}
+        assert len(samples) > city.network.num_segments * 0.3
+
+    def test_popularity_ranking_sorted(self):
+        city = generate_arterial_city(CityConfig(name="c", rows=5, cols=5), rng=RandomState(1))
+        ranking = city.preference.popularity_ranking()
+        values = city.preference.attractiveness[ranking]
+        assert (np.diff(values) <= 1e-12).all()
+
+    def test_to_dict_serialisable(self):
+        import json
+
+        city = generate_arterial_city(CityConfig(name="c", rows=5, cols=5), rng=RandomState(1))
+        json.dumps(city.preference.to_dict())
+
+
+class TestCityGenerators:
+    def test_arterial_city_structure(self):
+        config = CityConfig(name="test", rows=7, cols=7, num_pois=3)
+        city = generate_arterial_city(config, rng=RandomState(0))
+        assert city.network.num_intersections == 49
+        classes = {s.road_class for s in city.network.segments()}
+        assert RoadClass.ARTERIAL in classes and RoadClass.LOCAL in classes
+        assert city.config is config
+        assert len(city.preference.pois) == 3
+
+    def test_arterial_city_connected(self):
+        import networkx as nx
+
+        city = generate_arterial_city(CityConfig(name="t", rows=7, cols=7), rng=RandomState(0))
+        graph = city.network.to_networkx()
+        assert nx.is_strongly_connected(graph)
+
+    def test_arterial_city_rejects_tiny_layout(self):
+        with pytest.raises(ValueError):
+            generate_arterial_city(CityConfig(name="t", rows=2, cols=2))
+
+    def test_figure1_example(self):
+        city = build_figure1_example()
+        assert city.network.num_intersections == 7
+        # p2-p3 is arterial and preferred over the local p2-p4.
+        seg_23 = city.network.segment_between(2, 3)
+        seg_24 = city.network.segment_between(2, 4)
+        assert city.preference.segment_attractiveness(seg_23.segment_id) > \
+            city.preference.segment_attractiveness(seg_24.segment_id)
+
+    def test_generators_deterministic_given_seed(self):
+        config = CityConfig(name="t", rows=6, cols=6)
+        a = generate_arterial_city(config, rng=RandomState(9))
+        b = generate_arterial_city(config, rng=RandomState(9))
+        np.testing.assert_allclose(a.preference.attractiveness, b.preference.attractiveness)
+        assert a.network.num_segments == b.network.num_segments

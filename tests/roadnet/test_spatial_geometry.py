@@ -1,0 +1,80 @@
+"""Tests for geometric primitives."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.roadnet import (
+    Point,
+    euclidean_distance,
+    haversine_distance,
+    interpolate_along,
+    polyline_length,
+    project_point_to_segment,
+)
+
+
+class TestPoint:
+    def test_as_tuple(self):
+        assert Point(1.0, 2.0).as_tuple() == (1.0, 2.0)
+
+    def test_distance_to(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 5
+
+
+class TestDistances:
+    def test_euclidean(self):
+        assert euclidean_distance(Point(0, 0), Point(1, 1)) == pytest.approx(math.sqrt(2))
+
+    def test_haversine_equator_degree(self):
+        # One degree of longitude at the equator is ~111.19 km.
+        d = haversine_distance(Point(0.0, 0.0), Point(1.0, 0.0))
+        assert d == pytest.approx(111_195, rel=0.01)
+
+    def test_haversine_zero(self):
+        assert haversine_distance(Point(10, 20), Point(10, 20)) == pytest.approx(0.0)
+
+
+class TestProjection:
+    def test_projects_onto_interior(self):
+        projection, distance, fraction = project_point_to_segment(
+            Point(5, 3), Point(0, 0), Point(10, 0)
+        )
+        assert projection.as_tuple() == (5.0, 0.0)
+        assert distance == pytest.approx(3.0)
+        assert fraction == pytest.approx(0.5)
+
+    def test_clamps_to_endpoints(self):
+        projection, distance, fraction = project_point_to_segment(
+            Point(-5, 0), Point(0, 0), Point(10, 0)
+        )
+        assert projection.as_tuple() == (0.0, 0.0)
+        assert fraction == 0.0
+        assert distance == pytest.approx(5.0)
+
+    def test_degenerate_segment(self):
+        projection, distance, fraction = project_point_to_segment(
+            Point(1, 1), Point(0, 0), Point(0, 0)
+        )
+        assert projection.as_tuple() == (0.0, 0.0)
+        assert fraction == 0.0
+
+
+class TestPolyline:
+    def test_polyline_length(self):
+        points = [Point(0, 0), Point(3, 0), Point(3, 4)]
+        assert polyline_length(points) == pytest.approx(7.0)
+
+    def test_interpolate_along(self):
+        mid = interpolate_along(Point(0, 0), Point(10, 20), 0.5)
+        assert mid.as_tuple() == (5.0, 10.0)
+
+    def test_interpolate_clamps_fraction(self):
+        assert interpolate_along(Point(0, 0), Point(10, 0), 1.5).as_tuple() == (10.0, 0.0)

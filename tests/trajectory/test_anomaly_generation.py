@@ -1,0 +1,112 @@
+"""Tests for the Detour and Switch anomaly generators (paper §VI-A2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trajectory import (
+    AnomalyInjector,
+    DETOUR_KIND,
+    DetourGenerator,
+    SWITCH_KIND,
+    SwitchGenerator,
+)
+from repro.utils import RandomState
+
+
+@pytest.fixture(scope="module")
+def normal_pool(tiny_simulator):
+    pairs = tiny_simulator.popular_sd_pairs(5, rng=RandomState(50))
+    pool = []
+    for pair in pairs:
+        pool.extend(tiny_simulator.generate_many(6, sd_pair=pair, rng=RandomState(51)))
+    return pool
+
+
+class TestDetourGenerator:
+    def test_detour_properties(self, tiny_city, normal_pool):
+        generator = DetourGenerator(tiny_city.network)
+        rng = RandomState(52)
+        produced = 0
+        for trajectory in normal_pool:
+            anomaly = generator.generate(trajectory, rng=rng)
+            if anomaly is None:
+                continue
+            produced += 1
+            assert anomaly.label == 1
+            assert anomaly.anomaly_kind == DETOUR_KIND
+            detoured = anomaly.trajectory
+            # Valid, same SD pair, strictly different and longer than the seed.
+            assert tiny_city.network.is_valid_route(list(detoured.segments))
+            assert detoured.sd_pair == trajectory.sd_pair
+            assert detoured.segments != trajectory.segments
+            assert tiny_city.network.route_length(list(detoured.segments)) > \
+                tiny_city.network.route_length(list(trajectory.segments))
+        assert produced >= len(normal_pool) // 2
+
+    def test_detour_extra_ratio_within_band(self, tiny_city, normal_pool):
+        generator = DetourGenerator(tiny_city.network)
+        rng = RandomState(53)
+        for trajectory in normal_pool[:10]:
+            anomaly = generator.generate(trajectory, rng=rng)
+            if anomaly is None:
+                continue
+            original = tiny_city.network.route_length(list(trajectory.segments))
+            detoured = tiny_city.network.route_length(list(anomaly.trajectory.segments))
+            ratio = detoured / original - 1.0
+            assert generator.config.min_extra_ratio <= ratio <= generator.config.max_extra_ratio
+
+    def test_too_short_trajectory_returns_none(self, tiny_city, normal_pool):
+        from repro.trajectory import MapMatchedTrajectory
+
+        generator = DetourGenerator(tiny_city.network)
+        short = MapMatchedTrajectory("short", normal_pool[0].segments[:3])
+        assert generator.generate(short, rng=RandomState(1)) is None
+
+
+class TestSwitchGenerator:
+    def test_switch_properties(self, tiny_city, normal_pool):
+        generator = SwitchGenerator(tiny_city.network, normal_pool)
+        rng = RandomState(54)
+        produced = 0
+        for trajectory in normal_pool:
+            anomaly = generator.generate(trajectory, rng=rng)
+            if anomaly is None:
+                continue
+            produced += 1
+            switched = anomaly.trajectory
+            assert anomaly.anomaly_kind == SWITCH_KIND
+            assert tiny_city.network.is_valid_route(list(switched.segments))
+            assert switched.sd_pair == trajectory.sd_pair
+            assert switched.segments != trajectory.segments
+        assert produced > 0
+
+    def test_alternatives_exclude_self(self, tiny_city, normal_pool):
+        generator = SwitchGenerator(tiny_city.network, normal_pool)
+        target = normal_pool[0]
+        alternatives = generator.alternatives(target)
+        assert all(a.trajectory_id != target.trajectory_id for a in alternatives)
+        assert all(a.sd_pair == target.sd_pair for a in alternatives)
+
+    def test_no_pool_returns_none(self, tiny_city, normal_pool):
+        generator = SwitchGenerator(tiny_city.network, [])
+        assert generator.generate(normal_pool[0], rng=RandomState(1)) is None
+
+
+class TestAnomalyInjector:
+    def test_injects_requested_count(self, tiny_city, normal_pool):
+        injector = AnomalyInjector(tiny_city.network, normal_pool)
+        anomalies = injector.inject(normal_pool, DETOUR_KIND, rng=RandomState(55), target_count=10)
+        assert len(anomalies) == 10
+        assert all(a.label == 1 for a in anomalies)
+
+    def test_unknown_kind_rejected(self, tiny_city, normal_pool):
+        injector = AnomalyInjector(tiny_city.network, normal_pool)
+        with pytest.raises(ValueError):
+            injector.inject(normal_pool, "teleport", rng=RandomState(1))
+
+    def test_switch_kind_dispatch(self, tiny_city, normal_pool):
+        injector = AnomalyInjector(tiny_city.network, normal_pool)
+        anomalies = injector.inject(normal_pool, SWITCH_KIND, rng=RandomState(56), target_count=5)
+        assert all(a.anomaly_kind == SWITCH_KIND for a in anomalies)

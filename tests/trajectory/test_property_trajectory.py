@@ -1,0 +1,71 @@
+"""Property-based tests for trajectory types and batch encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.trajectory import MapMatchedTrajectory, encode_batch
+
+SETTINGS = dict(max_examples=40, deadline=None)
+
+segment_lists = st.lists(st.integers(0, 19), min_size=2, max_size=15)
+
+
+@settings(**SETTINGS)
+@given(segment_lists)
+def test_prefix_never_longer_than_original(segments):
+    trajectory = MapMatchedTrajectory("t", tuple(segments))
+    for length in range(0, len(segments) + 3):
+        prefix = trajectory.prefix(length)
+        assert 2 <= len(prefix) <= len(trajectory)
+        assert prefix.segments == trajectory.segments[: len(prefix)]
+
+
+@settings(**SETTINGS)
+@given(segment_lists, st.floats(min_value=0.05, max_value=1.0))
+def test_observed_fraction_monotone(segments, ratio):
+    trajectory = MapMatchedTrajectory("t", tuple(segments))
+    shorter = trajectory.observed_fraction(ratio)
+    assert len(shorter) <= len(trajectory)
+    assert shorter.segments == trajectory.segments[: len(shorter)]
+
+
+@settings(**SETTINGS)
+@given(segment_lists, segment_lists)
+def test_jaccard_similarity_bounds_and_symmetry(a_segments, b_segments):
+    a = MapMatchedTrajectory("a", tuple(a_segments))
+    b = MapMatchedTrajectory("b", tuple(b_segments))
+    similarity = a.jaccard_similarity(b)
+    assert 0.0 <= similarity <= 1.0
+    assert similarity == b.jaccard_similarity(a)
+    assert a.jaccard_similarity(a) == 1.0
+
+
+@settings(**SETTINGS)
+@given(st.lists(segment_lists, min_size=1, max_size=6))
+def test_encode_batch_invariants(segment_lists_batch):
+    trajectories = [
+        MapMatchedTrajectory(f"t{i}", tuple(segments))
+        for i, segments in enumerate(segment_lists_batch)
+    ]
+    batch = encode_batch(trajectories, num_segments=20)
+    # Mask is True exactly where both input and target are real segments.
+    assert batch.mask.sum() == sum(len(t) - 1 for t in trajectories)
+    # Valid count per row equals trajectory length.
+    np.testing.assert_array_equal(batch.full_mask.sum(axis=1), [len(t) for t in trajectories])
+    # Padding never appears inside the valid region.
+    for row, trajectory in enumerate(trajectories):
+        np.testing.assert_array_equal(
+            batch.full_segments[row, : len(trajectory)], np.asarray(trajectory.segments)
+        )
+    # Targets are always valid indices (clamped at padding).
+    assert batch.targets.max() < 20
+    assert batch.targets.min() >= 0
+
+
+@settings(**SETTINGS)
+@given(segment_lists)
+def test_dict_roundtrip_property(segments):
+    trajectory = MapMatchedTrajectory("t", tuple(segments))
+    assert MapMatchedTrajectory.from_dict(trajectory.to_dict()) == trajectory

@@ -1,0 +1,117 @@
+"""Tests for the confounded trajectory simulator and GPS map matching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trajectory import (
+    MapMatcher,
+    RouteChoiceModel,
+    SimulatorConfig,
+    TrajectorySimulator,
+    simulate_gps,
+)
+from repro.utils import RandomState
+
+
+class TestRouteChoiceModel:
+    def test_sampled_routes_are_valid(self, tiny_city):
+        model = RouteChoiceModel(tiny_city.network, tiny_city.preference)
+        rng = RandomState(0)
+        segments = tiny_city.network.segments()
+        route = model.sample_route(segments[0].segment_id, segments[-1].segment_id, rng=rng)
+        assert route is not None
+        assert tiny_city.network.is_valid_route(route)
+        assert route[0] == segments[0].segment_id
+        assert route[-1] == segments[-1].segment_id
+
+    def test_same_sd_yields_multiple_routes(self, tiny_city):
+        model = RouteChoiceModel(
+            tiny_city.network, tiny_city.preference, SimulatorConfig(utility_noise=0.6)
+        )
+        rng = RandomState(1)
+        segments = tiny_city.network.segments()
+        source, destination = segments[0].segment_id, segments[-1].segment_id
+        routes = {tuple(model.sample_route(source, destination, rng=rng)) for _ in range(20)}
+        assert len(routes) > 1
+
+    def test_identical_source_destination_returns_none(self, tiny_city):
+        model = RouteChoiceModel(tiny_city.network, tiny_city.preference)
+        assert model.sample_route(0, 0) is None
+
+    def test_shortest_route_not_longer_than_sampled(self, tiny_city):
+        model = RouteChoiceModel(tiny_city.network, tiny_city.preference)
+        rng = RandomState(3)
+        segments = tiny_city.network.segments()
+        source, destination = segments[2].segment_id, segments[-3].segment_id
+        shortest = model.shortest_route(source, destination)
+        sampled = model.sample_route(source, destination, rng=rng)
+        assert tiny_city.network.route_length(shortest) <= tiny_city.network.route_length(sampled) + 1e-9
+
+
+class TestTrajectorySimulator:
+    def test_generated_trajectories_respect_length_bounds(self, tiny_simulator, tiny_city):
+        trajectories = tiny_simulator.generate_many(15)
+        assert trajectories
+        for trajectory in trajectories:
+            assert tiny_simulator.config.min_length <= len(trajectory) <= tiny_simulator.config.max_length
+            assert tiny_city.network.is_valid_route(list(trajectory.segments))
+
+    def test_timestamps_are_increasing(self, tiny_simulator):
+        trajectory = tiny_simulator.generate_trajectory()
+        times = trajectory.timestamps
+        assert times is not None
+        assert all(b > a for a, b in zip(times[:-1], times[1:]))
+
+    def test_fixed_sd_pair_respected(self, tiny_simulator):
+        pair = tiny_simulator.popular_sd_pairs(1, rng=RandomState(8))[0]
+        trajectory = tiny_simulator.generate_trajectory(sd_pair=pair, rng=RandomState(9))
+        assert trajectory is not None
+        assert trajectory.source == pair.source
+        assert trajectory.destination == pair.destination
+
+    def test_confounded_sd_pairs_concentrate_on_popular_segments(self, tiny_city):
+        simulator = TrajectorySimulator(tiny_city, rng=RandomState(10))
+        rng = RandomState(11)
+        confounded = [simulator.sample_sd_pair(confounded=True, rng=rng) for _ in range(300)]
+        uniform = [simulator.sample_sd_pair(confounded=False, rng=rng) for _ in range(300)]
+        weights = tiny_city.preference.destination_weights
+        confounded_weight = np.mean([weights[p.destination] for p in confounded])
+        uniform_weight = np.mean([weights[p.destination] for p in uniform])
+        assert confounded_weight > uniform_weight
+
+    def test_popular_sd_pairs_are_distinct_and_routable(self, tiny_simulator):
+        pairs = tiny_simulator.popular_sd_pairs(5, rng=RandomState(12))
+        assert len({p.as_tuple() for p in pairs}) == 5
+
+    def test_trajectory_ids_unique(self, tiny_simulator):
+        trajectories = tiny_simulator.generate_many(10)
+        ids = [t.trajectory_id for t in trajectories]
+        assert len(set(ids)) == len(ids)
+
+
+class TestGPSAndMatching:
+    def test_simulate_gps_produces_increasing_timestamps(self, tiny_city, tiny_simulator):
+        matched = tiny_simulator.generate_trajectory(rng=RandomState(20))
+        raw = simulate_gps(tiny_city.network, matched, rng=RandomState(21))
+        times = [p.timestamp for p in raw.points]
+        assert all(b >= a for a, b in zip(times[:-1], times[1:]))
+        assert len(raw) >= len(matched)
+
+    def test_matcher_recovers_most_of_the_route(self, tiny_city, tiny_simulator):
+        matched = tiny_simulator.generate_trajectory(rng=RandomState(22))
+        raw = simulate_gps(tiny_city.network, matched, noise_std=5.0, rng=RandomState(23))
+        matcher = MapMatcher(tiny_city.network)
+        result = matcher.match(raw)
+        assert tiny_city.network.is_valid_route(list(result.trajectory.segments))
+        overlap = matched.jaccard_similarity(result.trajectory)
+        assert overlap > 0.5
+        assert result.mean_match_distance < 50.0
+        assert result.num_points_used == len(raw)
+
+    def test_matched_route_is_connected_even_with_heavy_noise(self, tiny_city, tiny_simulator):
+        matched = tiny_simulator.generate_trajectory(rng=RandomState(24))
+        raw = simulate_gps(tiny_city.network, matched, noise_std=60.0, rng=RandomState(25))
+        result = MapMatcher(tiny_city.network).match(raw)
+        assert tiny_city.network.is_valid_route(list(result.trajectory.segments))

@@ -1,0 +1,112 @@
+"""Tests for trajectory data types (Definitions 1 and 2 of the paper)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trajectory import GPSPoint, LabeledTrajectory, MapMatchedTrajectory, SDPair, Trajectory
+
+
+def make_matched(segments, trajectory_id="t", timestamps=None):
+    return MapMatchedTrajectory(
+        trajectory_id=trajectory_id, segments=tuple(segments), timestamps=timestamps
+    )
+
+
+class TestRawTrajectory:
+    def test_valid_construction(self):
+        points = (GPSPoint(0, 0, 0.0), GPSPoint(1, 1, 10.0), GPSPoint(2, 2, 20.0))
+        trajectory = Trajectory("raw", points)
+        assert len(trajectory) == 3
+        assert trajectory.duration == pytest.approx(20.0)
+        assert trajectory.source.timestamp == 0.0
+        assert trajectory.destination.x == 2
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            Trajectory("raw", (GPSPoint(0, 0, 0.0),))
+
+    def test_rejects_decreasing_timestamps(self):
+        with pytest.raises(ValueError):
+            Trajectory("raw", (GPSPoint(0, 0, 10.0), GPSPoint(1, 1, 5.0)))
+
+    def test_gps_point_location(self):
+        assert GPSPoint(3.0, 4.0, 0.0).location.as_tuple() == (3.0, 4.0)
+
+
+class TestSDPair:
+    def test_as_tuple_and_ordering(self):
+        assert SDPair(3, 7).as_tuple() == (3, 7)
+        assert SDPair(1, 2) < SDPair(1, 3)
+
+    def test_hashable(self):
+        assert len({SDPair(1, 2), SDPair(1, 2), SDPair(2, 1)}) == 2
+
+
+class TestMapMatchedTrajectory:
+    def test_basic_properties(self):
+        t = make_matched([5, 6, 7, 8])
+        assert len(t) == 4
+        assert list(t) == [5, 6, 7, 8]
+        assert t.source == 5 and t.destination == 8
+        assert t.sd_pair == SDPair(5, 8)
+
+    def test_requires_two_segments(self):
+        with pytest.raises(ValueError):
+            make_matched([1])
+
+    def test_timestamps_must_align(self):
+        with pytest.raises(ValueError):
+            make_matched([1, 2, 3], timestamps=(0.0, 1.0))
+
+    def test_prefix_clamps_bounds(self):
+        t = make_matched([1, 2, 3, 4, 5])
+        assert len(t.prefix(3)) == 3
+        assert len(t.prefix(1)) == 2      # clamped up to 2
+        assert len(t.prefix(100)) == 5    # clamped down to full length
+        assert t.prefix(3).segments == (1, 2, 3)
+
+    def test_prefix_keeps_timestamps(self):
+        t = make_matched([1, 2, 3], timestamps=(0.0, 5.0, 9.0))
+        assert t.prefix(2).timestamps == (0.0, 5.0)
+
+    def test_observed_fraction(self):
+        t = make_matched(list(range(10)))
+        assert len(t.observed_fraction(0.5)) == 5
+        assert len(t.observed_fraction(1.0)) == 10
+        with pytest.raises(ValueError):
+            t.observed_fraction(0.0)
+
+    def test_jaccard_similarity(self):
+        a = make_matched([1, 2, 3, 4])
+        b = make_matched([3, 4, 5, 6])
+        assert a.jaccard_similarity(b) == pytest.approx(2 / 6)
+        assert a.jaccard_similarity(a) == 1.0
+
+    def test_dict_roundtrip(self):
+        t = make_matched([1, 2, 3], timestamps=(0.0, 1.0, 2.0))
+        rebuilt = MapMatchedTrajectory.from_dict(t.to_dict())
+        assert rebuilt == t
+
+    def test_dict_roundtrip_without_timestamps(self):
+        t = make_matched([4, 5])
+        assert MapMatchedTrajectory.from_dict(t.to_dict()) == t
+
+
+class TestLabeledTrajectory:
+    def test_valid_normal(self):
+        item = LabeledTrajectory(make_matched([1, 2]), label=0)
+        assert item.anomaly_kind is None
+
+    def test_anomaly_requires_kind(self):
+        with pytest.raises(ValueError):
+            LabeledTrajectory(make_matched([1, 2]), label=1)
+
+    def test_invalid_label(self):
+        with pytest.raises(ValueError):
+            LabeledTrajectory(make_matched([1, 2]), label=2)
+
+    def test_dict_roundtrip(self):
+        item = LabeledTrajectory(make_matched([1, 2, 3]), label=1, anomaly_kind="detour")
+        rebuilt = LabeledTrajectory.from_dict(item.to_dict())
+        assert rebuilt == item
