@@ -17,7 +17,9 @@ including every substrate the paper depends on:
 * :mod:`repro.baselines` — iBOAT, SAE, VSAE, β-VAE, FactorVAE, GM-VSAE,
   DeepTEA and the CausalTAD ablations behind one detector interface,
 * :mod:`repro.eval` — ROC/PR metrics and one experiment runner per table and
-  figure of the paper's evaluation section.
+  figure of the paper's evaluation section,
+* :mod:`repro.serving` — the fleet-scale streaming serving engine executing
+  online score updates as vectorized micro-batches across concurrent rides.
 
 Quickstart
 ----------
@@ -33,6 +35,15 @@ from repro.core import (
     OnlineDetector,
     Trainer,
     TrainingConfig,
+)
+from repro.serving import (
+    FleetEngine,
+    RideEnd,
+    RideStart,
+    SegmentObserved,
+    ThresholdAlertPolicy,
+    calibrate_threshold,
+    replay_trajectories,
 )
 from repro.roadnet import (
     CHENGDU_LIKE,
@@ -56,6 +67,13 @@ __all__ = [
     "OnlineDetector",
     "Trainer",
     "TrainingConfig",
+    "FleetEngine",
+    "RideStart",
+    "SegmentObserved",
+    "RideEnd",
+    "ThresholdAlertPolicy",
+    "calibrate_threshold",
+    "replay_trajectories",
     "RoadNetwork",
     "generate_arterial_city",
     "XIAN_LIKE",

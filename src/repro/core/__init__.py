@@ -10,6 +10,12 @@ from repro.core.rp_vae import RPVAE, RPVAEOutput
 from repro.core.causal_tad import CausalTAD, CausalTADLoss, SegmentScoreBreakdown
 from repro.core.trainer import Trainer, TrainingHistory
 from repro.core.online import OnlineDetector, OnlineSession
+from repro.core.scoring_kernel import (
+    SessionInit,
+    advance_sessions,
+    init_session_states,
+    validate_segment_ids,
+)
 
 __all__ = [
     "CausalTADConfig",
@@ -25,4 +31,8 @@ __all__ = [
     "TrainingHistory",
     "OnlineDetector",
     "OnlineSession",
+    "SessionInit",
+    "advance_sessions",
+    "init_session_states",
+    "validate_segment_ids",
 ]

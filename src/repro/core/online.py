@@ -16,21 +16,25 @@ because:
 :class:`OnlineDetector` manages per-ride :class:`OnlineSession` objects that
 maintain exactly this state; ``update(segment)`` is O(hidden²) — constant in
 the trajectory length — matching the complexity analysis of the paper.
+
+The numerical work lives in :mod:`repro.core.scoring_kernel`, which is shared
+with the fleet-scale serving engine (:mod:`repro.serving`): an
+:class:`OnlineSession` is the batch-of-one special case of the same vectorized
+start/advance kernel the fleet engine runs over thousands of rides per tick.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
 from repro.core.causal_tad import CausalTAD
-from repro.nn import Tensor, log_softmax, no_grad
+from repro.core.scoring_kernel import advance_sessions, init_session_states
 from repro.trajectory.types import MapMatchedTrajectory, SDPair
-from repro.utils.rng import RandomState
 
-__all__ = ["OnlineSession", "OnlineDetector"]
+__all__ = ["OnlineSession", "OnlineDetector", "ScoreUpdate"]
 
 
 @dataclass
@@ -63,31 +67,20 @@ class OnlineSession:
         self._scaling = scaling_factors
         self._lambda = lambda_weight
         self.sd_pair = sd_pair
+        self._check_segment(first_segment)
         self.segments: List[int] = [first_segment]
         self.updates: List[ScoreUpdate] = []
 
-        config = model.config
-        tg = model.tg_vae
-        with no_grad():
-            sources = np.array([sd_pair.source], dtype=np.int64)
-            destinations = np.array([sd_pair.destination], dtype=np.int64)
-            mu, logvar = tg.encode_sd(sources, destinations)
-            latent = tg.sample_latent(mu, logvar, deterministic=True)
-
-            # Fixed (per-ride) parts of the score: SD reconstruction + KL.
-            self._fixed_score = 0.0
-            if config.use_sd_decoder:
-                source_logits, destination_logits = tg.decode_sd(latent)
-                source_lp = log_softmax(source_logits, axis=-1).data[0, sd_pair.source]
-                destination_lp = log_softmax(destination_logits, axis=-1).data[0, sd_pair.destination]
-                self._fixed_score += -(source_lp + destination_lp)
-            kl = 0.5 * float(
-                (np.exp(logvar.data) + mu.data**2 - 1.0 - logvar.data).sum()
-            )
-            self._fixed_score += kl * config.kl_weight
-
-            # Initial hidden state of the autoregressive decoder.
-            self._hidden = tg.latent_to_hidden(latent).tanh()
+        # Fixed (per-ride) score parts and the decoder's initial hidden state,
+        # computed once at session start (batch of one through the shared
+        # kernel).
+        init = init_session_states(
+            model,
+            np.array([sd_pair.source], dtype=np.int64),
+            np.array([sd_pair.destination], dtype=np.int64),
+        )
+        self._fixed_score = float(init.fixed_scores[0])
+        self._hidden = init.hidden
 
         # The first segment's scaling contribution (TG-VAE never predicts the
         # first segment, but the RP-VAE factorisation covers every segment).
@@ -104,25 +97,23 @@ class OnlineSession:
     def observed_length(self) -> int:
         return len(self.segments)
 
+    def _check_segment(self, segment_id: int) -> None:
+        # Pure-Python range check: update() is the per-segment hot path, so it
+        # must not pay numpy array-construction overhead per call.  Negative
+        # ids would otherwise silently wrap in the kernel's embedding lookup.
+        num_segments = self._model.config.num_segments
+        if not 0 <= segment_id < num_segments:
+            raise ValueError(f"segment id {segment_id} outside [0, {num_segments})")
+
     def update(self, segment_id: int) -> ScoreUpdate:
         """Feed the next observed segment; O(1) in the trajectory length."""
-        config = self._model.config
-        if not 0 <= segment_id < config.num_segments:
-            raise ValueError(f"segment id {segment_id} outside [0, {config.num_segments})")
-        tg = self._model.tg_vae
-        previous_segment = self.segments[-1]
-        with no_grad():
-            embedded = tg.segment_embedding(np.array([previous_segment], dtype=np.int64))
-            self._hidden = tg.decoder_rnn.cell(embedded, self._hidden)
-            logits = tg.output_projection(self._hidden)
-            if self._model.transition_mask is not None and config.road_constrained:
-                allowed = self._model.transition_mask[previous_segment]
-                from repro.nn import masked_log_softmax
-
-                log_probs = masked_log_softmax(logits, allowed[None, :], axis=-1)
-            else:
-                log_probs = log_softmax(logits, axis=-1)
-            step_likelihood = float(-log_probs.data[0, segment_id])
+        self._check_segment(segment_id)
+        previous = np.array([self.segments[-1]], dtype=np.int64)
+        entered = np.array([segment_id], dtype=np.int64)
+        self._hidden, step_likelihoods = advance_sessions(
+            self._model, previous, entered, self._hidden
+        )
+        step_likelihood = float(step_likelihoods[0])
 
         step_scaling = float(self._scaling[segment_id])
         self._likelihood_sum += step_likelihood

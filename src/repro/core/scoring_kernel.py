@@ -1,0 +1,155 @@
+"""Vectorized online-scoring kernel shared by per-ride and fleet serving.
+
+The O(1)-per-segment online update of the paper (§V-D) decomposes into two
+operations, both of which vectorize cleanly over a batch of concurrent rides:
+
+* **session start** — encode the SD pair once, producing the fixed part of the
+  score (SD reconstruction + KL) and the initial hidden state of the
+  autoregressive decoder;
+* **session advance** — one embedding lookup, one :class:`~repro.nn.GRUCell`
+  step and one (masked) log-softmax yielding the log-probability of the newly
+  entered segment.
+
+:class:`~repro.core.online.OnlineSession` calls these with batch size 1;
+:class:`~repro.serving.FleetEngine` calls them with one row per pending ride,
+turning thousands of per-ride Python steps into a handful of matrix ops.  The
+hot :func:`advance_sessions` path works on raw numpy arrays (via
+:meth:`GRUCell.step <repro.nn.GRUCell.step>` and numpy mirrors of the softmax
+helpers) so serving never builds throw-away autograd graphs; the mirrors
+reproduce the Tensor ops operation-for-operation, keeping online, fleet and
+offline scores in exact agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.causal_tad import CausalTAD
+from repro.nn import NEG_INF, log_softmax, no_grad
+
+__all__ = [
+    "SessionInit",
+    "init_session_states",
+    "advance_sessions",
+    "validate_segment_ids",
+]
+
+
+@dataclass
+class SessionInit:
+    """Per-ride state produced at session start (one row per ride).
+
+    Attributes
+    ----------
+    fixed_scores:
+        ``(batch,)`` — the SD-reconstruction + KL part of Eq. 10, constant for
+        the lifetime of each ride.
+    hidden:
+        ``(batch, hidden_dim)`` — initial hidden state of the trajectory
+        decoder (``tanh(W r)`` with ``r`` the deterministic posterior mean).
+    """
+
+    fixed_scores: np.ndarray
+    hidden: np.ndarray
+
+
+def validate_segment_ids(model: CausalTAD, segment_ids: np.ndarray) -> None:
+    """Raise ``ValueError`` if any id falls outside ``[0, num_segments)``."""
+    ids = np.asarray(segment_ids)
+    if ids.size and (ids.min() < 0 or ids.max() >= model.config.num_segments):
+        bad = ids[(ids < 0) | (ids >= model.config.num_segments)]
+        raise ValueError(
+            f"segment id {int(bad[0])} outside [0, {model.config.num_segments})"
+        )
+
+
+def init_session_states(
+    model: CausalTAD, sources: np.ndarray, destinations: np.ndarray
+) -> SessionInit:
+    """Batched session start for rides with the given SD pairs.
+
+    One batched SD encoding + (optional) SD decoding + KL evaluation for all
+    rides at once; the per-row results are identical to running each ride
+    through a batch of one.
+    """
+    config = model.config
+    tg = model.tg_vae
+    sources = np.asarray(sources, dtype=np.int64)
+    destinations = np.asarray(destinations, dtype=np.int64)
+    # Negative ids would silently wrap in the embedding lookups below and
+    # yield plausible but wrong scores, so reject them up front.
+    validate_segment_ids(model, sources)
+    validate_segment_ids(model, destinations)
+    with no_grad():
+        mu, logvar = tg.encode_sd(sources, destinations)
+        latent = tg.sample_latent(mu, logvar, deterministic=True)
+
+        fixed = np.zeros(sources.shape[0], dtype=np.float64)
+        if config.use_sd_decoder:
+            source_logits, destination_logits = tg.decode_sd(latent)
+            rows = np.arange(sources.shape[0])
+            source_lp = log_softmax(source_logits, axis=-1).data[rows, sources]
+            destination_lp = log_softmax(destination_logits, axis=-1).data[rows, destinations]
+            fixed += -(source_lp + destination_lp)
+        kl = 0.5 * (np.exp(logvar.data) + mu.data**2 - 1.0 - logvar.data).sum(axis=-1)
+        fixed += kl * config.kl_weight
+
+        hidden = tg.latent_to_hidden(latent).tanh().data
+    return SessionInit(fixed_scores=fixed, hidden=hidden)
+
+
+def advance_sessions(
+    model: CausalTAD,
+    previous_segments: np.ndarray,
+    next_segments: np.ndarray,
+    hidden: np.ndarray,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """One batched autoregressive step for a batch of ongoing rides.
+
+    Parameters
+    ----------
+    model:
+        The (eval-mode) CausalTAD model.
+    previous_segments / next_segments:
+        ``(batch,)`` int arrays — the segment each ride is currently on and
+        the segment it just entered.
+    hidden:
+        ``(batch, hidden_dim)`` decoder hidden states (one row per ride).
+
+    Returns
+    -------
+    (new_hidden, step_likelihoods):
+        The advanced hidden states ``(batch, hidden_dim)`` and the per-ride
+        step scores ``−log P(t_i | c, t_{<i})`` of shape ``(batch,)``.
+    """
+    config = model.config
+    tg = model.tg_vae
+    previous_segments = np.asarray(previous_segments, dtype=np.int64)
+    next_segments = np.asarray(next_segments, dtype=np.int64)
+
+    embedded = tg.segment_embedding.weight.data[previous_segments]
+    new_hidden = tg.decoder_rnn.cell.step(embedded, hidden)
+    logits = new_hidden @ tg.output_projection.weight.data + tg.output_projection.bias.data
+    if model.transition_mask is not None and config.road_constrained:
+        allowed = model.transition_mask[previous_segments]
+        if not allowed.any(axis=-1).all():
+            raise ValueError("masked_log_softmax requires at least one allowed position per row")
+        # ``logits`` is freshly allocated above, so masking in place is safe.
+        np.copyto(logits, NEG_INF, where=~allowed)
+    rows = np.arange(next_segments.shape[0])
+    step_likelihoods = -_gather_log_softmax_np(logits, rows, next_segments)
+    return new_hidden, step_likelihoods
+
+
+def _gather_log_softmax_np(logits: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """``log_softmax(logits)[rows, cols]`` without materialising the matrix.
+
+    Same arithmetic as :func:`repro.nn.log_softmax` (max-shift, exp-sum, log)
+    but only the gathered entries are computed, saving two full-width
+    (batch, vocab) array writes on the serving hot path.
+    """
+    maxima = logits.max(axis=-1)
+    sums = np.exp(logits - maxima[:, None]).sum(axis=-1)
+    return (logits[rows, cols] - maxima) - np.log(sums)

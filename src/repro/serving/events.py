@@ -1,0 +1,125 @@
+"""Event layer of the fleet serving engine.
+
+A ride-hailing platform emits a stream of ride lifecycle events:
+
+* :class:`RideStart` — a new ride began at some road segment with a known
+  destination (the platform knows the SD pair when the trip is booked);
+* :class:`SegmentObserved` — the vehicle entered a new road segment;
+* :class:`RideEnd` — the ride finished (the session can be finalised).
+
+The :class:`~repro.serving.engine.FleetEngine` ingests these events and
+executes them in vectorized micro-batches, one *tick* at a time.
+
+:func:`replay_trajectories` turns a recorded
+:class:`~repro.trajectory.dataset.TrajectoryDataset` (or a plain sequence of
+map-matched trajectories) into such an event stream, interleaving rides
+round-robin the way a live fleet would: each tick starts a configurable number
+of new rides and advances every active ride by one segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Union
+
+from repro.trajectory.types import MapMatchedTrajectory, SDPair
+
+__all__ = [
+    "RideStart",
+    "SegmentObserved",
+    "RideEnd",
+    "FleetEvent",
+    "replay_trajectories",
+]
+
+
+@dataclass(frozen=True)
+class RideStart:
+    """A new ride was booked: SD pair plus the segment the ride begins on.
+
+    ``first_segment`` defaults to the SD pair's source (the common case).
+    """
+
+    ride_id: str
+    sd_pair: SDPair
+    first_segment: Optional[int] = None
+
+    @property
+    def start_segment(self) -> int:
+        return self.sd_pair.source if self.first_segment is None else self.first_segment
+
+
+@dataclass(frozen=True)
+class SegmentObserved:
+    """The vehicle of an ongoing ride entered a new road segment."""
+
+    ride_id: str
+    segment_id: int
+
+
+@dataclass(frozen=True)
+class RideEnd:
+    """The ride completed; its session can be finalised and released."""
+
+    ride_id: str
+
+
+FleetEvent = Union[RideStart, SegmentObserved, RideEnd]
+
+
+def replay_trajectories(
+    trajectories: Union[Sequence[MapMatchedTrajectory], "object"],
+    starts_per_tick: Optional[int] = None,
+) -> Iterator[List[FleetEvent]]:
+    """Replay recorded trajectories as a per-tick stream of fleet events.
+
+    Parameters
+    ----------
+    trajectories:
+        A sequence of :class:`MapMatchedTrajectory` or anything exposing a
+        ``.trajectories`` attribute (e.g. a
+        :class:`~repro.trajectory.dataset.TrajectoryDataset`).
+    starts_per_tick:
+        How many new rides begin on each tick (fleet ramp-up).  ``None``
+        (default) starts the whole fleet on the first tick — the steady-state
+        load the throughput benchmark measures.
+
+    Yields
+    ------
+    One list of events per tick: the tick's :class:`RideStart` events, then
+    one :class:`SegmentObserved` per active ride (rides advance round-robin,
+    one segment per tick), with a :class:`RideEnd` immediately after a ride's
+    final segment.
+    """
+    rides = getattr(trajectories, "trajectories", trajectories)
+    rides = list(rides)
+    if starts_per_tick is not None and starts_per_tick <= 0:
+        raise ValueError("starts_per_tick must be positive")
+
+    pending = list(rides)
+    # (ride_id, remaining segments) for every ride already started.
+    active: List[List] = []
+    while pending or active:
+        events: List[FleetEvent] = []
+        ramp = len(pending) if starts_per_tick is None else starts_per_tick
+        for trajectory in pending[:ramp]:
+            events.append(
+                RideStart(
+                    ride_id=trajectory.trajectory_id,
+                    sd_pair=trajectory.sd_pair,
+                    first_segment=trajectory.segments[0],
+                )
+            )
+            active.append([trajectory.trajectory_id, list(trajectory.segments[1:])])
+        pending = pending[ramp:]
+
+        still_active: List[List] = []
+        for ride_id, remaining in active:
+            if remaining:
+                events.append(SegmentObserved(ride_id=ride_id, segment_id=remaining.pop(0)))
+            if remaining:
+                still_active.append([ride_id, remaining])
+            else:
+                events.append(RideEnd(ride_id=ride_id))
+        active = still_active
+        yield events

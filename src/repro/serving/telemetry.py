@@ -1,0 +1,107 @@
+"""Telemetry for the fleet serving engine.
+
+Tracks the operational counters a fleet operator watches (rides started /
+finished / evicted, segments scored, events dropped, alerts raised) plus tick
+latency, accumulated through :class:`~repro.utils.timing.Stopwatch` so the
+engine reports throughput (segments/s) and p50/p95 tick latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.utils.timing import Stopwatch, format_duration
+
+__all__ = ["FleetTelemetry"]
+
+TICK = "tick"
+
+
+@dataclass
+class FleetTelemetry:
+    """Counters and latency statistics of one :class:`FleetEngine`.
+
+    Counters are cumulative over the engine's lifetime; the per-tick latency
+    samples behind the percentiles are a sliding window of the most recent
+    ``latency_window`` ticks, so a long-running engine's memory stays flat.
+    """
+
+    ticks: int = 0
+    rides_started: int = 0
+    rides_finished: int = 0
+    rides_evicted: int = 0
+    segments_processed: int = 0
+    events_dropped: int = 0
+    alerts_raised: int = 0
+    latency_window: int = 4096
+    stopwatch: Stopwatch = field(default_factory=Stopwatch)
+    _total_tick_seconds: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def record_tick(self, seconds: float, segments: int) -> None:
+        self.ticks += 1
+        self.segments_processed += segments
+        self._total_tick_seconds += seconds
+        self.stopwatch.add(TICK, seconds)
+        samples = self.stopwatch.records[TICK]
+        if len(samples) > self.latency_window:
+            del samples[: -self.latency_window]
+
+    # ------------------------------------------------------------------ #
+    # derived statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def total_tick_seconds(self) -> float:
+        return self._total_tick_seconds
+
+    def tick_latency_percentile(self, percentile: float) -> float:
+        """Tick latency percentile in seconds (0 before the first tick)."""
+        values = self.stopwatch.records.get(TICK, [])
+        if not values:
+            return 0.0
+        return float(np.percentile(values, percentile))
+
+    @property
+    def p50_tick_seconds(self) -> float:
+        return self.tick_latency_percentile(50.0)
+
+    @property
+    def p95_tick_seconds(self) -> float:
+        return self.tick_latency_percentile(95.0)
+
+    def segments_per_second(self) -> float:
+        """Sustained scoring throughput across all ticks so far."""
+        total = self.total_tick_seconds
+        return self.segments_processed / total if total > 0 else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat dictionary of every counter and latency statistic."""
+        return {
+            "ticks": float(self.ticks),
+            "rides_started": float(self.rides_started),
+            "rides_finished": float(self.rides_finished),
+            "rides_evicted": float(self.rides_evicted),
+            "segments_processed": float(self.segments_processed),
+            "events_dropped": float(self.events_dropped),
+            "alerts_raised": float(self.alerts_raised),
+            "segments_per_second": self.segments_per_second(),
+            "p50_tick_seconds": self.p50_tick_seconds,
+            "p95_tick_seconds": self.p95_tick_seconds,
+        }
+
+    def format_summary(self) -> str:
+        """Human-readable one-paragraph telemetry summary."""
+        return (
+            f"{self.ticks} ticks, {self.rides_started} rides started, "
+            f"{self.rides_finished} finished, {self.rides_evicted} evicted, "
+            f"{self.segments_processed} segments "
+            f"({self.segments_per_second():,.0f} segments/s), "
+            f"tick latency p50 {format_duration(self.p50_tick_seconds)} / "
+            f"p95 {format_duration(self.p95_tick_seconds)}, "
+            f"{self.alerts_raised} alerts, {self.events_dropped} events dropped"
+        )

@@ -108,6 +108,15 @@ class TestOnlineDetector:
         session = detector.start_session(trajectory.sd_pair)
         with pytest.raises(ValueError):
             session.update(10**6)
+        with pytest.raises(ValueError):
+            session.update(-1)
+
+    def test_session_rejects_invalid_first_segment(self, trained_causal_tad, benchmark_data):
+        """Negative ids must not silently wrap in the embedding lookup."""
+        detector = OnlineDetector(trained_causal_tad)
+        trajectory = benchmark_data.id_test.trajectories[0]
+        with pytest.raises(ValueError):
+            detector.start_session(trajectory.sd_pair, first_segment=-3)
 
     def test_online_update_time_independent_of_length(self, trained_causal_tad, benchmark_data):
         """The cost of update() must not grow with the number of observed segments (O(1) claim)."""

@@ -1,0 +1,133 @@
+"""Tests for the event replay driver and the session store."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    RideEnd,
+    RideStart,
+    RideState,
+    SegmentObserved,
+    SessionStore,
+    replay_trajectories,
+)
+from repro.trajectory.types import SDPair
+
+
+def make_state(ride_id: str, tick: int = 0) -> RideState:
+    return RideState(
+        ride_id=ride_id,
+        sd_pair=SDPair(0, 1),
+        segments=[0],
+        hidden=np.zeros(4),
+        fixed_score=1.0,
+        likelihood_sum=2.0,
+        scaling_sum=0.5,
+        started_tick=tick,
+        last_active_tick=tick,
+    )
+
+
+class TestReplayDriver:
+    def test_replays_every_segment_in_order(self, benchmark_data):
+        trajectories = benchmark_data.id_test.trajectories[:5]
+        observed = {t.trajectory_id: [] for t in trajectories}
+        started, ended = set(), set()
+        for events in replay_trajectories(trajectories):
+            for event in events:
+                if isinstance(event, RideStart):
+                    assert event.ride_id not in started
+                    started.add(event.ride_id)
+                    observed[event.ride_id].append(event.start_segment)
+                elif isinstance(event, SegmentObserved):
+                    assert event.ride_id in started and event.ride_id not in ended
+                    observed[event.ride_id].append(event.segment_id)
+                elif isinstance(event, RideEnd):
+                    ended.add(event.ride_id)
+        assert started == ended == set(observed)
+        for trajectory in trajectories:
+            assert observed[trajectory.trajectory_id] == list(trajectory.segments)
+
+    def test_all_rides_start_first_tick_by_default(self, benchmark_data):
+        trajectories = benchmark_data.id_test.trajectories[:5]
+        first_tick = next(iter(replay_trajectories(trajectories)))
+        assert sum(isinstance(e, RideStart) for e in first_tick) == len(trajectories)
+
+    def test_staggered_ramp_up(self, benchmark_data):
+        trajectories = benchmark_data.id_test.trajectories[:5]
+        ticks = list(replay_trajectories(trajectories, starts_per_tick=2))
+        starts_per_tick = [sum(isinstance(e, RideStart) for e in batch) for batch in ticks]
+        assert starts_per_tick[:3] == [2, 2, 1]
+        assert sum(starts_per_tick) == len(trajectories)
+
+    def test_accepts_dataset_objects(self, benchmark_data):
+        subset = benchmark_data.id_test.subset(range(3))
+        ticks = list(replay_trajectories(subset))
+        ride_ids = {e.ride_id for batch in ticks for e in batch if isinstance(e, RideStart)}
+        assert ride_ids == {t.trajectory_id for t in subset.trajectories}
+
+    def test_rejects_bad_stagger(self):
+        with pytest.raises(ValueError):
+            list(replay_trajectories([], starts_per_tick=0))
+
+    def test_one_observation_per_ride_per_tick(self, benchmark_data):
+        trajectories = benchmark_data.id_test.trajectories[:4]
+        for events in replay_trajectories(trajectories):
+            per_ride = {}
+            for event in events:
+                if isinstance(event, SegmentObserved):
+                    per_ride[event.ride_id] = per_ride.get(event.ride_id, 0) + 1
+            assert all(count == 1 for count in per_ride.values())
+
+
+class TestRideState:
+    def test_score_composition(self):
+        state = make_state("r")
+        lam = 0.1
+        assert state.score(lam) == pytest.approx(1.0 + 2.0 - lam * 0.5)
+        assert state.per_segment_score(lam) == pytest.approx(state.score(lam) / 1)
+        assert state.observed_length == 1
+
+
+class TestSessionStore:
+    def test_add_get_pop(self):
+        store = SessionStore()
+        store.add(make_state("a"))
+        assert "a" in store and len(store) == 1
+        assert store.get("a").ride_id == "a"
+        assert store.pop("a").ride_id == "a"
+        assert store.pop("a") is None
+        assert len(store) == 0
+
+    def test_duplicate_rejected(self):
+        store = SessionStore()
+        store.add(make_state("a"))
+        with pytest.raises(ValueError):
+            store.add(make_state("a"))
+
+    def test_capacity_evicts_least_recently_active(self):
+        store = SessionStore(capacity=2)
+        store.add(make_state("a", tick=0))
+        store.add(make_state("b", tick=1))
+        store.touch("a", 5)  # 'b' becomes LRU
+        evicted = store.add(make_state("c", tick=6))
+        assert [s.ride_id for s in evicted] == ["b"]
+        assert store.active_ids() == ["a", "c"]
+
+    def test_ttl_eviction(self):
+        store = SessionStore(ttl_ticks=3)
+        store.add(make_state("old", tick=0))
+        store.add(make_state("fresh", tick=0))
+        store.touch("fresh", 10)
+        expired = store.evict_expired(10)
+        assert [s.ride_id for s in expired] == ["old"]
+        assert store.active_ids() == ["fresh"]
+
+    def test_no_ttl_means_no_expiry(self):
+        store = SessionStore()
+        store.add(make_state("a", tick=0))
+        assert store.evict_expired(10**6) == []
