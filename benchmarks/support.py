@@ -7,8 +7,9 @@ the fixture wiring.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import List
+from typing import Any, Dict, List
 
 from repro.baselines import (
     BetaVAEDetector,
@@ -28,15 +29,33 @@ from repro.utils import RandomState
 
 BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+#: When set, benchmarks drop their timing JSON here (CI uploads it as an artifact).
+BENCH_ARTIFACTS = os.environ.get("REPRO_BENCH_ARTIFACTS", "")
 
 __all__ = [
     "BENCH_SCALE",
     "BENCH_SEED",
+    "BENCH_ARTIFACTS",
     "benchmark_config",
     "training_config",
     "detector_config_for",
     "build_suite",
+    "write_timing_artifact",
 ]
+
+
+def write_timing_artifact(name: str, payload: Dict[str, Any]) -> None:
+    """Persist a benchmark's timing summary as JSON for the CI artifact.
+
+    No-op unless the ``REPRO_BENCH_ARTIFACTS`` environment variable names a
+    directory (created on demand).  ``name`` becomes ``<name>.json``.
+    """
+    if not BENCH_ARTIFACTS:
+        return
+    os.makedirs(BENCH_ARTIFACTS, exist_ok=True)
+    path = os.path.join(BENCH_ARTIFACTS, f"{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
 
 
 def benchmark_config() -> BenchmarkConfig:

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.support import BENCH_SCALE, BENCH_SEED
+from benchmarks.support import BENCH_SCALE, BENCH_SEED, write_timing_artifact
 from repro.core import CausalTAD, CausalTADConfig, OnlineDetector
 from repro.serving import FleetEngine, replay_trajectories
 from repro.utils import RandomState
@@ -129,6 +129,20 @@ def test_bench_fleet_throughput(xian_data):
     )
     print(f"  worst score disagreement    : {worst:.2e}")
     assert worst < 1e-6
+
+    write_timing_artifact(
+        "bench_fleet_throughput",
+        {
+            "concurrent_rides": CONCURRENT_RIDES,
+            "total_segments": total_segments,
+            "loop_segments_per_second": loop_rate,
+            "fleet_segments_per_second": fleet_rate,
+            "speedup": speedup,
+            "p50_tick_seconds": summary.telemetry["p50_tick_seconds"],
+            "p95_tick_seconds": summary.telemetry["p95_tick_seconds"],
+            "min_speedup_required": MIN_SPEEDUP,
+        },
+    )
 
     assert summary.telemetry["segments_processed"] == total_segments
     assert speedup >= MIN_SPEEDUP, (

@@ -35,6 +35,7 @@ from repro.nn import (
     Parameter,
     Tensor,
     concatenate,
+    fused_masked_nll,
     gaussian_kl_standard,
     log_softmax,
     logsumexp,
@@ -109,10 +110,12 @@ class Seq2SeqVAEModel(Module):
         config: DetectorConfig,
         variant: Seq2SeqVariant,
         rng: Optional[RandomState] = None,
+        fused: bool = True,
     ) -> None:
         super().__init__()
         self.config = config
         self.variant = variant
+        self.fused = fused
         rng = get_rng(rng)
         emb_dim = config.embedding_dim
         hidden = config.hidden_dim
@@ -120,7 +123,7 @@ class Seq2SeqVAEModel(Module):
 
         self.segment_embedding = Embedding(config.vocab_size, emb_dim, rng=rng)
         encoder_input = emb_dim + (emb_dim if variant.time_aware else 0)
-        self.encoder_rnn = GRU(encoder_input, hidden, rng=rng)
+        self.encoder_rnn = GRU(encoder_input, hidden, rng=rng, fused=fused)
 
         if variant.variational:
             self.posterior_head = GaussianHead(hidden, latent, rng=rng)
@@ -130,7 +133,7 @@ class Seq2SeqVAEModel(Module):
             self.latent_to_hidden = Linear(latent, hidden, rng=rng)
 
         decoder_input = emb_dim + (emb_dim if variant.time_aware else 0)
-        self.decoder_rnn = GRU(decoder_input, hidden, rng=rng)
+        self.decoder_rnn = GRU(decoder_input, hidden, rng=rng, fused=fused)
         self.output_projection = Linear(hidden, config.num_segments, rng=rng)
 
         if variant.time_aware:
@@ -243,8 +246,14 @@ class Seq2SeqVAEModel(Module):
         buckets = self._time_buckets(batch, batch.inputs.shape[1])
         decoder_inputs = self._embed_steps(batch.inputs, buckets)
         outputs, _ = self.decoder_rnn(decoder_inputs, h0=h0)
-        log_probs = log_softmax(self.output_projection(outputs), axis=-1)
-        per_step_nll = sequence_nll(log_probs, batch.targets, mask=batch.mask, reduction="none")
+        logits = self.output_projection(outputs)
+        if self.fused:
+            per_step_nll = fused_masked_nll(logits, batch.targets, valid_mask=batch.mask)
+        else:
+            log_probs = log_softmax(logits, axis=-1)
+            per_step_nll = sequence_nll(
+                log_probs, batch.targets, mask=batch.mask, reduction="none"
+            )
         reconstruction = per_step_nll.sum(axis=1)
 
         per_trajectory = reconstruction + kl * variant.beta

@@ -104,6 +104,16 @@ class CausalTAD(Module):
     def transition_mask(self) -> Optional[np.ndarray]:
         return self._transition_mask
 
+    @property
+    def fused(self) -> bool:
+        """Whether both VAEs run through the fused sequence kernels.
+
+        Controlled by ``config.fused``; build a parity-test twin with
+        ``CausalTAD(config.with_fused(False), ...)`` to get the per-step
+        autograd graph path on identical weights.
+        """
+        return self.config.fused
+
     # ------------------------------------------------------------------ #
     # training
     # ------------------------------------------------------------------ #

@@ -55,6 +55,12 @@ class CausalTADConfig:
         signal of detour anomalies; centring keeps the *relative* popular-vs-
         unpopular correction while removing that length bias.  Off by default
         (faithful to Eq. 10); the ablation benchmark evaluates both settings.
+    fused:
+        Whether training and scoring run through the fused sequence kernels
+        (:mod:`repro.nn.fused`): single-node BPTT for the GRU decoder plus the
+        fused masked log-softmax/NLL loss.  ``False`` selects the per-step
+        autograd graph path — numerically equivalent but far slower; kept for
+        gradient-parity testing.
     """
 
     num_segments: int
@@ -67,6 +73,7 @@ class CausalTADConfig:
     road_constrained: bool = True
     use_sd_decoder: bool = True
     center_scaling: bool = False
+    fused: bool = True
 
     def __post_init__(self) -> None:
         if self.num_segments <= 1:
@@ -93,6 +100,10 @@ class CausalTADConfig:
         """A copy with a different λ (used by the Fig. 8 sweep — no retraining)."""
         return replace(self, lambda_weight=lambda_weight)
 
+    def with_fused(self, fused: bool) -> "CausalTADConfig":
+        """A copy toggling the fused sequence kernels (parity testing)."""
+        return replace(self, fused=fused)
+
     @classmethod
     def paper(cls, num_segments: int) -> "CausalTADConfig":
         """The paper's configuration (hidden dimension 128)."""
@@ -117,7 +128,14 @@ class CausalTADConfig:
 
 @dataclass(frozen=True)
 class TrainingConfig:
-    """Optimisation parameters for :class:`repro.core.trainer.Trainer`."""
+    """Optimisation parameters for :class:`repro.core.trainer.Trainer`.
+
+    ``bucketing`` selects the mini-batch length-bucketing strategy of
+    :meth:`repro.trajectory.dataset.TrajectoryDataset.iter_batches`:
+    ``"length"`` (default) builds near-homogeneous-length batches so the fused
+    sequence kernels waste almost no padded timesteps; ``"chunk"`` is the
+    milder chunk-local sort; ``"none"`` disables bucketing.
+    """
 
     epochs: int = 30
     batch_size: int = 32
@@ -127,6 +145,7 @@ class TrainingConfig:
     validation_fraction: float = 0.0
     log_every: int = 0
     seed: int = 0
+    bucketing: str = "length"
 
     def __post_init__(self) -> None:
         if self.epochs <= 0 or self.batch_size <= 0:
@@ -135,6 +154,8 @@ class TrainingConfig:
             raise ValueError("learning_rate must be positive")
         if not 0.0 <= self.validation_fraction < 1.0:
             raise ValueError("validation_fraction must lie in [0, 1)")
+        if self.bucketing not in ("chunk", "length", "none"):
+            raise ValueError(f"unknown bucketing mode '{self.bucketing}'")
 
     @classmethod
     def paper(cls) -> "TrainingConfig":

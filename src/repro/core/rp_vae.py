@@ -34,6 +34,7 @@ from repro.nn import (
     Module,
     Tensor,
     cross_entropy_from_logits,
+    fused_masked_nll,
     gaussian_kl_standard,
     log_softmax,
     no_grad,
@@ -100,15 +101,23 @@ class RPVAE(Module):
         latent = self.posterior_head.sample(mu, logvar, rng=self._rng, deterministic=not self.training)
         logits = self.decode(latent)
 
-        reconstruction = cross_entropy_from_logits(logits, flat_segments, reduction="none")
+        if self.config.fused:
+            # One-node softmax cross-entropy (no (N, vocab) log-prob graph).
+            reconstruction = fused_masked_nll(logits, flat_segments)
+        else:
+            reconstruction = cross_entropy_from_logits(logits, flat_segments, reduction="none")
         kl = gaussian_kl_standard(mu, logvar, reduction="none")
         per_segment = reconstruction + kl * self.config.kl_weight
         loss = per_segment.mean()
 
-        # Scatter the per-segment losses back to per-trajectory sums.
+        # Scatter the per-segment losses back to per-trajectory sums.  The
+        # flat segments are grouped by trajectory (boolean-mask order), so a
+        # single reduceat over the row boundaries replaces per-element add.at.
+        counts = valid.sum(axis=1)
         per_trajectory = np.zeros(batch.batch_size, dtype=np.float64)
-        row_index = np.repeat(np.arange(batch.batch_size), valid.sum(axis=1))
-        np.add.at(per_trajectory, row_index, per_segment.data)
+        nonempty = counts > 0
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))[nonempty]
+        per_trajectory[nonempty] = np.add.reduceat(per_segment.data, starts)
 
         self._cached_scaling = None  # parameters are about to change
         return RPVAEOutput(loss=loss, per_trajectory_nll=per_trajectory)

@@ -37,11 +37,14 @@ from repro.nn import (
     Tensor,
     concatenate,
     cross_entropy_from_logits,
+    fused_masked_nll,
+    fused_successor_nll,
     gaussian_kl_standard,
     log_softmax,
     masked_log_softmax,
     sequence_nll,
 )
+from repro.nn.fused import build_successor_table
 from repro.trajectory.dataset import EncodedBatch
 from repro.utils.rng import RandomState, get_rng
 
@@ -92,10 +95,22 @@ class TGVAE(Module):
 
         # Trajectory decoder Φ_t: GRU started from r.
         self.latent_to_hidden = Linear(latent, hidden, rng=rng)
-        self.decoder_rnn = GRU(emb_dim, hidden, rng=rng)
+        self.decoder_rnn = GRU(emb_dim, hidden, rng=rng, fused=config.fused)
         self.output_projection = Linear(hidden, config.num_segments, rng=rng)
 
         self._rng = rng
+        # Padded successor gather tables for the sparse road-constrained loss,
+        # cached per transition-mask identity (the mask is attached once).
+        # The mask array itself is kept in the cache entry so its id cannot be
+        # recycled by a different array while the tables are alive.
+        self._successor_cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    def _successor_tables(self, transition_mask: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        cache = self._successor_cache
+        if cache is None or cache[0] is not transition_mask:
+            idx, valid = build_successor_table(transition_mask)
+            self._successor_cache = (transition_mask, idx, valid)
+        return self._successor_cache[1], self._successor_cache[2]
 
     # ------------------------------------------------------------------ #
     # pieces
@@ -117,6 +132,28 @@ class TGVAE(Module):
         """Logits of the reconstructed source and destination."""
         hidden = self.sd_decoder_hidden(latent)
         return self.source_head(hidden), self.destination_head(hidden)
+
+    def decoder_logits(self, latent: Tensor, inputs: np.ndarray) -> Tensor:
+        """Unnormalised next-segment scores ``(batch, time, num_segments)``."""
+        h0 = self.latent_to_hidden(latent).tanh()
+        embedded = self.segment_embedding(inputs)
+        outputs, _ = self.decoder_rnn(embedded, h0=h0)
+        return self.output_projection(outputs)
+
+    def _allowed_mask(
+        self, inputs: np.ndarray, transition_mask: Optional[np.ndarray]
+    ) -> Optional[np.ndarray]:
+        """The road-constrained prediction mask, or ``None`` when disabled.
+
+        The next segment must be a graph successor of the current input
+        segment.  Padding rows get an all-True mask (their loss contribution
+        is removed by the batch mask anyway).
+        """
+        if transition_mask is None or not self.config.road_constrained:
+            return None
+        safe_inputs = np.where(inputs >= self.config.num_segments, 0, inputs)
+        step_mask = transition_mask[safe_inputs]
+        return step_mask | (inputs >= self.config.num_segments)[..., None]
 
     def decode_trajectory(
         self,
@@ -140,18 +177,10 @@ class TGVAE(Module):
         -------
         ``(batch, time, num_segments)`` log-probabilities.
         """
-        h0 = self.latent_to_hidden(latent).tanh()
-        embedded = self.segment_embedding(inputs)
-        outputs, _ = self.decoder_rnn(embedded, h0=h0)
-        logits = self.output_projection(outputs)
-        if transition_mask is None or not self.config.road_constrained:
+        logits = self.decoder_logits(latent, inputs)
+        step_mask = self._allowed_mask(inputs, transition_mask)
+        if step_mask is None:
             return log_softmax(logits, axis=-1)
-        # Road-constrained prediction: the next segment must be a successor of
-        # the current input segment.  Padding rows get an all-True mask (their
-        # loss contribution is removed by the batch mask anyway).
-        safe_inputs = np.where(inputs >= self.config.num_segments, 0, inputs)
-        step_mask = transition_mask[safe_inputs]
-        step_mask = step_mask | (inputs >= self.config.num_segments)[..., None]
         return masked_log_softmax(logits, step_mask, axis=-1)
 
     # ------------------------------------------------------------------ #
@@ -169,8 +198,38 @@ class TGVAE(Module):
         latent = self.sample_latent(mu, logvar, deterministic=deterministic_latent)
 
         # Trajectory reconstruction term  Σ_i H(t̂_i, t_i).
-        log_probs = self.decode_trajectory(latent, batch.inputs, transition_mask)
-        per_step_nll = sequence_nll(log_probs, batch.targets, mask=batch.mask, reduction="none")
+        if config.fused:
+            # Fused path: masked log-softmax + gather + validity masking in a
+            # single graph node; the (batch, time, vocab) log-probability
+            # tensor never enters the autograd graph.  With a road network
+            # attached the loss runs over each step's successor set only
+            # (O(degree) instead of O(vocab) per position).
+            logits = self.decoder_logits(latent, batch.inputs)
+            if transition_mask is not None and config.road_constrained:
+                succ_idx, succ_valid = self._successor_tables(transition_mask)
+                inputs = batch.inputs
+                padded = inputs >= config.num_segments
+                safe_inputs = np.where(padded, 0, inputs)
+                target_allowed = transition_mask[safe_inputs, batch.targets] | padded
+                per_step_nll = fused_successor_nll(
+                    logits,
+                    batch.targets,
+                    succ_idx[safe_inputs],
+                    # Padding rows carry segment 0's successors; the batch
+                    # mask zeroes their loss and gradient exactly.
+                    succ_valid[safe_inputs],
+                    target_allowed,
+                    valid_mask=batch.mask,
+                )
+            else:
+                per_step_nll = fused_masked_nll(
+                    logits, batch.targets, valid_mask=batch.mask
+                )
+        else:
+            log_probs = self.decode_trajectory(latent, batch.inputs, transition_mask)
+            per_step_nll = sequence_nll(
+                log_probs, batch.targets, mask=batch.mask, reduction="none"
+            )
         trajectory_nll = per_step_nll.sum(axis=1)
 
         # SD reconstruction term  H(ŝ, s) + H(d̂, d).

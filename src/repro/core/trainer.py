@@ -96,7 +96,9 @@ class Trainer:
             self.model.train()
             epoch_losses: List[float] = []
             with stopwatch.time("epoch"):
-                for batch in train_set.iter_batches(config.batch_size, shuffle=True, rng=self.rng):
+                for batch in train_set.iter_batches(
+                    config.batch_size, shuffle=True, rng=self.rng, bucketing=config.bucketing
+                ):
                     loss_value = self._step(batch)
                     epoch_losses.append(loss_value)
             mean_loss = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
@@ -120,7 +122,9 @@ class Trainer:
         self.model.train()
         losses = [
             self._step(batch)
-            for batch in dataset.iter_batches(self.config.batch_size, shuffle=True, rng=self.rng)
+            for batch in dataset.iter_batches(
+                self.config.batch_size, shuffle=True, rng=self.rng, bucketing=self.config.bucketing
+            )
         ]
         mean_loss = float(np.mean(losses)) if losses else float("nan")
         self.history.train_losses.append(mean_loss)

@@ -11,7 +11,11 @@ losses and optimisers required by the paper's models and baselines:
 * Losses: cross entropy (road-constrained variant via
   :func:`masked_log_softmax` + :func:`cross_entropy_from_log_probs`),
   Gaussian KL divergences, sequence NLL.
-* Optimisers: :class:`SGD`, :class:`Adam`, plus gradient clipping.
+* Fused sequence kernels (:mod:`repro.nn.fused`): single-node BPTT for
+  GRU/LSTM, fused embedding gather, dense and successor-set masked NLL,
+  fused linear/KL/reparameterisation — the training hot path.
+* Optimisers: :class:`SGD`, :class:`Adam` (fully in-place updates), plus
+  gradient clipping.
 * Checkpoint (de)serialisation helpers.
 """
 
@@ -24,6 +28,17 @@ from repro.nn.functional import (
     one_hot,
     dropout,
     NEG_INF,
+)
+from repro.nn.fused import (
+    gru_sequence,
+    lstm_sequence,
+    embedding_gather,
+    fused_masked_nll,
+    fused_successor_nll,
+    fused_linear,
+    fused_gaussian_kl,
+    fused_reparameterize,
+    build_successor_table,
 )
 from repro.nn.module import Module, Parameter
 from repro.nn.layers import Linear, Embedding, Dropout, Sequential, MLP, GaussianHead, Activation
@@ -66,6 +81,15 @@ __all__ = [
     "GRU",
     "LSTMCell",
     "LSTM",
+    "gru_sequence",
+    "lstm_sequence",
+    "embedding_gather",
+    "fused_masked_nll",
+    "fused_successor_nll",
+    "fused_linear",
+    "fused_gaussian_kl",
+    "fused_reparameterize",
+    "build_successor_table",
     "cross_entropy_from_logits",
     "cross_entropy_from_log_probs",
     "sequence_nll",

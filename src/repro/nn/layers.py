@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.nn import init as nn_init
 from repro.nn.functional import dropout as dropout_fn
+from repro.nn.fused import embedding_gather, fused_linear, fused_reparameterize
 from repro.nn.module import Module, Parameter
 from repro.nn.tensor import Tensor, as_tensor, concatenate
 from repro.utils.rng import RandomState, get_rng
@@ -51,11 +52,8 @@ class Linear(Module):
         self.bias = Parameter(nn_init.zeros((out_dim,)), name="bias") if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        x = as_tensor(x)
-        out = x @ self.weight
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        # One fused node (matmul + bias) instead of two; same arithmetic.
+        return fused_linear(as_tensor(x), self.weight, self.bias)
 
 
 class Embedding(Module):
@@ -80,7 +78,9 @@ class Embedding(Module):
                 f"embedding index out of range [0, {self.num_embeddings}): "
                 f"got range [{idx.min()}, {idx.max()}]"
             )
-        return self.weight.index_select(idx)
+        # Fused lookup: identical forward to ``weight.index_select`` but with a
+        # sort/reduceat scatter-add backward instead of per-element np.add.at.
+        return embedding_gather(self.weight, idx)
 
 
 class Dropout(Module):
@@ -216,6 +216,5 @@ class GaussianHead(Module):
         if deterministic:
             return mu
         rng = get_rng(rng)
-        eps = Tensor(rng.normal(0.0, 1.0, size=mu.shape))
-        std = (logvar * 0.5).exp()
-        return mu + std * eps
+        eps = rng.normal(0.0, 1.0, size=mu.shape)
+        return fused_reparameterize(mu, logvar, eps)

@@ -21,6 +21,7 @@ from typing import Optional
 import numpy as np
 
 from repro.nn.functional import log_softmax
+from repro.nn.fused import fused_gaussian_kl
 from repro.nn.tensor import Tensor, as_tensor
 
 __all__ = [
@@ -99,10 +100,10 @@ def sequence_nll(
 def gaussian_kl_standard(mu: Tensor, logvar: Tensor, reduction: str = "mean") -> Tensor:
     """KL( N(mu, diag(exp(logvar))) || N(0, I) ), summed over the latent axis.
 
-    The closed form is ``0.5 * Σ (exp(logvar) + mu² - 1 - logvar)``.
+    The closed form is ``0.5 * Σ (exp(logvar) + mu² - 1 - logvar)``, computed
+    as a single fused graph node (see :func:`repro.nn.fused.fused_gaussian_kl`).
     """
-    kl = (logvar.exp() + mu * mu - 1.0 - logvar).sum(axis=-1) * 0.5
-    return _reduce(kl, reduction)
+    return _reduce(fused_gaussian_kl(mu, logvar), reduction)
 
 
 def gaussian_kl(

@@ -24,11 +24,12 @@ def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
     params = [p for p in parameters if p.grad is not None]
     if not params:
         return 0.0
-    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    # Flat dot products: no squared-gradient temporaries.
+    total = float(np.sqrt(sum(float(np.dot(g, g)) for g in (p.grad.ravel() for p in params))))
     if max_norm > 0 and total > max_norm:
         scale = max_norm / (total + 1e-12)
         for p in params:
-            p.grad = p.grad * scale
+            p.grad *= scale
     return total
 
 
@@ -86,7 +87,15 @@ class SGD(Optimizer):
 
 
 class Adam(Optimizer):
-    """Adam optimiser (Kingma & Ba, 2015) — the optimiser used in the paper."""
+    """Adam optimiser (Kingma & Ba, 2015) — the optimiser used in the paper.
+
+    The update runs fully in place: first and second moments are mutated with
+    ``out=``-style ufuncs through one preallocated scratch buffer per
+    parameter, so a step allocates no per-parameter temporaries.  (The
+    original formulation allocated roughly seven arrays per parameter per
+    step — measurable pressure when the training loop otherwise runs through
+    the fused sequence kernels.)
+    """
 
     def __init__(
         self,
@@ -104,27 +113,49 @@ class Adam(Optimizer):
         self.beta2 = beta2
         self.eps = eps
         self.weight_decay = weight_decay
-        self._m: Dict[int, np.ndarray] = {}
-        self._v: Dict[int, np.ndarray] = {}
+        # Per-parameter (m, v, scratch, decay_scratch) buffers keyed by id.
+        self._state: Dict[int, tuple] = {}
         self._t = 0
 
+    def _buffers(self, p: Parameter) -> tuple:
+        state = self._state.get(id(p))
+        if state is None:
+            state = (
+                np.zeros_like(p.data),
+                np.zeros_like(p.data),
+                np.empty_like(p.data),
+                np.empty_like(p.data) if self.weight_decay else None,
+            )
+            self._state[id(p)] = state
+        return state
+
     def step(self) -> None:
-        """Apply one Adam update to every parameter that has a gradient."""
+        """Apply one in-place Adam update to every parameter with a gradient."""
         self._t += 1
         bias1 = 1.0 - self.beta1**self._t
         bias2 = 1.0 - self.beta2**self._t
         for p in self.parameters:
             if p.grad is None:
                 continue
-            grad = p.grad
+            m, v, scratch, decay = self._buffers(p)
+            grad = np.asarray(p.grad, dtype=p.data.dtype)
             if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
-            m = self._m.get(id(p), np.zeros_like(p.data))
-            v = self._v.get(id(p), np.zeros_like(p.data))
-            m = self.beta1 * m + (1.0 - self.beta1) * grad
-            v = self.beta2 * v + (1.0 - self.beta2) * grad**2
-            self._m[id(p)] = m
-            self._v[id(p)] = v
-            m_hat = m / bias1
-            v_hat = v / bias2
-            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+                np.multiply(p.data, self.weight_decay, out=decay)
+                decay += grad
+                grad = decay
+            # m = beta1 * m + (1 - beta1) * grad
+            m *= self.beta1
+            np.multiply(grad, 1.0 - self.beta1, out=scratch)
+            m += scratch
+            # v = beta2 * v + (1 - beta2) * grad^2
+            v *= self.beta2
+            np.multiply(grad, grad, out=scratch)
+            scratch *= 1.0 - self.beta2
+            v += scratch
+            # p -= lr * (m / bias1) / (sqrt(v / bias2) + eps)
+            np.divide(v, bias2, out=scratch)
+            np.sqrt(scratch, out=scratch)
+            scratch += self.eps
+            np.divide(m, scratch, out=scratch)
+            scratch *= self.lr / bias1
+            p.data -= scratch

@@ -18,6 +18,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.nn import init as nn_init
+from repro.nn.fused import gru_sequence, lstm_sequence
 from repro.nn.module import Module, Parameter
 from repro.nn.tensor import Tensor, as_tensor, concatenate, stack
 from repro.utils.rng import RandomState
@@ -65,8 +66,7 @@ class GRUCell(Module):
         reset = (rx + rh).sigmoid()
         update = (zx + zh).sigmoid()
         candidate = (nx + reset * nh).tanh()
-        one = Tensor(np.ones_like(update.data))
-        return (one - update) * candidate + update * h
+        return (1.0 - update) * candidate + update * h
 
     def initial_state(self, batch_size: int) -> Tensor:
         """Zero hidden state of shape ``(batch, hidden_dim)``."""
@@ -86,7 +86,7 @@ class GRUCell(Module):
         reset = _sigmoid_np(gates_x[:, :H] + gates_h[:, :H])
         update = _sigmoid_np(gates_x[:, H : 2 * H] + gates_h[:, H : 2 * H])
         candidate = np.tanh(gates_x[:, 2 * H :] + reset * gates_h[:, 2 * H :])
-        return (np.ones_like(update) - update) * candidate + update * h
+        return (1.0 - update) * candidate + update * h
 
 
 def _sigmoid_np(x: np.ndarray) -> np.ndarray:
@@ -113,19 +113,32 @@ class GRU(Module):
     Returns the full sequence of hidden states and the final state; supports
     an explicit initial state (how TG-VAE injects the latent ``r``) and an
     optional boolean mask for padded positions.
+
+    By default the sequence runs through the fused single-node BPTT kernel
+    (:func:`repro.nn.fused.gru_sequence`); construct with ``fused=False`` (or
+    pass ``fused=False`` per call) to fall back to the per-step graph path,
+    which is the reference implementation the parity tests compare against.
     """
 
-    def __init__(self, input_dim: int, hidden_dim: int, rng: Optional[RandomState] = None) -> None:
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        rng: Optional[RandomState] = None,
+        fused: bool = True,
+    ) -> None:
         super().__init__()
         self.cell = GRUCell(input_dim, hidden_dim, rng=rng)
         self.input_dim = input_dim
         self.hidden_dim = hidden_dim
+        self.fused = fused
 
     def forward(
         self,
         x: Tensor,
         h0: Optional[Tensor] = None,
         mask: Optional[np.ndarray] = None,
+        fused: Optional[bool] = None,
     ) -> Tuple[Tensor, Tensor]:
         """Run the GRU over a sequence.
 
@@ -138,6 +151,8 @@ class GRU(Module):
         mask:
             Optional boolean array ``(batch, time)``; where False, the hidden
             state is carried through unchanged (padding positions).
+        fused:
+            Overrides the constructor's ``fused`` flag for this call.
 
         Returns
         -------
@@ -148,6 +163,10 @@ class GRU(Module):
         x = as_tensor(x)
         batch, time = x.shape[0], x.shape[1]
         h = h0 if h0 is not None else self.cell.initial_state(batch)
+        use_fused = self.fused if fused is None else fused
+        if use_fused and time > 0:
+            cell = self.cell
+            return gru_sequence(x, h, cell.w_ih, cell.w_hh, cell.b_ih, cell.b_hh, mask=mask)
         outputs: List[Tensor] = []
         for t in range(time):
             x_t = x[:, t, :]
@@ -195,24 +214,40 @@ class LSTMCell(Module):
 
 
 class LSTM(Module):
-    """Single-layer LSTM over batch-first sequences."""
+    """Single-layer LSTM over batch-first sequences.
 
-    def __init__(self, input_dim: int, hidden_dim: int, rng: Optional[RandomState] = None) -> None:
+    Like :class:`GRU`, runs through the fused single-node BPTT kernel by
+    default; ``fused=False`` selects the per-step graph path.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        rng: Optional[RandomState] = None,
+        fused: bool = True,
+    ) -> None:
         super().__init__()
         self.cell = LSTMCell(input_dim, hidden_dim, rng=rng)
         self.input_dim = input_dim
         self.hidden_dim = hidden_dim
+        self.fused = fused
 
     def forward(
         self,
         x: Tensor,
         state: Optional[Tuple[Tensor, Tensor]] = None,
         mask: Optional[np.ndarray] = None,
+        fused: Optional[bool] = None,
     ) -> Tuple[Tensor, Tuple[Tensor, Tensor]]:
         """Run the LSTM; same conventions as :meth:`GRU.forward`."""
         x = as_tensor(x)
         batch, time = x.shape[0], x.shape[1]
         h, c = state if state is not None else self.cell.initial_state(batch)
+        use_fused = self.fused if fused is None else fused
+        if use_fused and time > 0:
+            cell = self.cell
+            return lstm_sequence(x, h, c, cell.w_ih, cell.w_hh, cell.bias, mask=mask)
         outputs: List[Tensor] = []
         for t in range(time):
             h_new, c_new = self.cell(x[:, t, :], (h, c))

@@ -331,6 +331,14 @@ class Tensor:
             elif b.ndim == 1:
                 grad_a = np.expand_dims(grad, -1) * b
                 grad_b = np.swapaxes(a, -1, -2) @ grad
+            elif a.ndim > 2 and b.ndim == 2:
+                # Batched input against a shared weight (the Linear-layer hot
+                # path, e.g. (batch, time, hidden) @ (hidden, vocab)): fold the
+                # leading axes into one flat GEMM instead of a batched matmul
+                # whose (batch, in, out) result would then be reduced — one
+                # BLAS call and no giant temporary.
+                grad_a = grad @ b.T
+                grad_b = a.reshape(-1, a.shape[-1]).T @ grad.reshape(-1, grad.shape[-1])
             else:
                 grad_a = grad @ np.swapaxes(b, -1, -2)
                 grad_b = np.swapaxes(a, -1, -2) @ grad

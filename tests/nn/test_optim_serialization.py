@@ -91,6 +91,35 @@ class TestAdam:
         with pytest.raises(ValueError):
             Adam([Parameter(np.zeros(1))], lr=0.1, betas=(1.0, 0.999))
 
+    def test_in_place_step_matches_reference_formula(self):
+        """The buffered in-place update equals the textbook Adam update."""
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(4, 3))
+        param = Parameter(data.copy())
+        optimizer = Adam([param], lr=0.05, betas=(0.9, 0.999), eps=1e-8, weight_decay=0.01)
+
+        ref = data.copy()
+        m = np.zeros_like(ref)
+        v = np.zeros_like(ref)
+        for t in range(1, 4):
+            grad = rng.normal(size=ref.shape)
+            param.grad = grad.copy()
+            optimizer.step()
+            g = grad + 0.01 * ref
+            m = 0.9 * m + 0.1 * g
+            v = 0.999 * v + 0.001 * g**2
+            ref = ref - 0.05 * (m / (1 - 0.9**t)) / (np.sqrt(v / (1 - 0.999**t)) + 1e-8)
+            np.testing.assert_allclose(param.data, ref, atol=1e-12)
+
+    def test_step_does_not_replace_parameter_array(self):
+        """In-place updates keep the same underlying ndarray object."""
+        param = Parameter(np.ones(3))
+        optimizer = Adam([param], lr=0.1)
+        before = param.data
+        param.grad = np.ones(3)
+        optimizer.step()
+        assert param.data is before
+
 
 class TestClipGradNorm:
     def test_clips_large_gradients(self):

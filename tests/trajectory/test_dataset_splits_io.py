@@ -133,6 +133,43 @@ class TestTrajectoryDataset:
         with pytest.raises(ValueError):
             list(make_dataset().iter_batches(0))
 
+    def test_iter_batches_rejects_unknown_bucketing(self):
+        with pytest.raises(ValueError):
+            list(make_dataset().iter_batches(4, bucketing="sorted"))
+
+    @pytest.mark.parametrize("bucketing", ["none", "chunk", "length"])
+    def test_bucketing_modes_cover_everything_once(self, bucketing):
+        dataset = make_dataset()
+        seen = []
+        for batch in dataset.iter_batches(
+            batch_size=5, shuffle=True, rng=RandomState(3), bucketing=bucketing
+        ):
+            seen.extend(batch.lengths.tolist())
+        assert len(seen) == len(dataset)
+        assert sorted(seen) == sorted(len(item.trajectory) for item in dataset)
+
+    def test_length_bucketing_minimises_padding(self):
+        """Strict length bucketing must not pad more than the shuffled order."""
+        dataset = make_dataset()
+
+        def padded_steps(bucketing):
+            total = 0
+            for batch in dataset.iter_batches(
+                batch_size=4, shuffle=True, rng=RandomState(9), bucketing=bucketing
+            ):
+                total += batch.batch_size * batch.max_length - int(batch.full_mask.sum())
+            return total
+
+        assert padded_steps("length") <= padded_steps("none")
+
+    def test_length_bucketing_batches_are_near_homogeneous(self):
+        dataset = make_dataset()
+        for batch in dataset.iter_batches(
+            batch_size=4, shuffle=True, rng=RandomState(5), bucketing="length"
+        ):
+            # Lengths within a batch are contiguous in the sorted global order.
+            assert batch.lengths.max() - batch.lengths.min() <= 3
+
     def test_invalid_num_segments(self):
         with pytest.raises(ValueError):
             TrajectoryDataset([], 0)
