@@ -21,13 +21,12 @@ between the segment midpoints of sources and destinations.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.baselines.base import TrajectoryAnomalyDetector
 from repro.roadnet.network import RoadNetwork
-from repro.roadnet.spatial import Point, euclidean_distance
 from repro.trajectory.dataset import TrajectoryDataset
 from repro.trajectory.types import MapMatchedTrajectory
 from repro.utils.rng import RandomState
@@ -55,7 +54,9 @@ class IBOATDetector(TrajectoryAnomalyDetector):
         self.support_threshold = support_threshold
         self.min_window = min_window
         self._references: Dict[Tuple[int, int], List[frozenset]] = {}
-        self._sd_midpoints: Dict[Tuple[int, int], Tuple[Point, Point]] = {}
+        self._membership: Dict[Tuple[int, int], np.ndarray] = {}
+        self._sd_keys: List[Tuple[int, int]] = []
+        self._sd_mid_array: Optional[np.ndarray] = None
         self._network: Optional[RoadNetwork] = None
 
     # ------------------------------------------------------------------ #
@@ -68,7 +69,14 @@ class IBOATDetector(TrajectoryAnomalyDetector):
         train: TrajectoryDataset,
         network: Optional[RoadNetwork] = None,
     ) -> "IBOATDetector":
-        """Index historical trajectories per SD pair (the reference sets)."""
+        """Index historical trajectories per SD pair (the reference sets).
+
+        Besides the historical frozenset index, each reference set gets a
+        boolean membership matrix ``(num_references, num_segments)`` — built
+        lazily on first scoring use and cached — so window-support counting
+        is a column-AND + popcount instead of nested Python set scans, while
+        fit-time memory stays proportional to the routes actually stored.
+        """
         if train.num_segments != self._num_segments:
             raise ValueError("training data and detector disagree on num_segments")
         self._network = network
@@ -76,65 +84,89 @@ class IBOATDetector(TrajectoryAnomalyDetector):
             sd: [frozenset(t.segments) for t in trajectories]
             for sd, trajectories in train.group_by_sd().items()
         }
-        if network is not None:
-            for sd in self._references:
-                self._sd_midpoints[sd] = (
-                    network.segment_midpoint(sd[0]),
-                    network.segment_midpoint(sd[1]),
-                )
+        self._membership = {}
+        self._sd_keys = list(self._references)
+        if network is not None and self._sd_keys:
+            # (source_x, source_y, destination_x, destination_y) per SD pair,
+            # in reference-dict order, for the vectorised closest-pair lookup.
+            midpoints = network.compiled().seg_midpoint_xy
+            self._sd_mid_array = np.concatenate(
+                [midpoints[[sd[0] for sd in self._sd_keys]],
+                 midpoints[[sd[1] for sd in self._sd_keys]]],
+                axis=1,
+            )
         self._fitted = True
         return self
 
     # ------------------------------------------------------------------ #
-    def _reference_for(self, sd_pair: Tuple[int, int]) -> List[frozenset]:
-        """Reference set for an SD pair, falling back to the closest known pair."""
+    def _closest_sd(self, sd_pair: Tuple[int, int]) -> Optional[Tuple[int, int]]:
+        """The known SD pair geometrically closest to ``sd_pair`` (or None)."""
+        if self._network is None or self._sd_mid_array is None:
+            return None
+        midpoints = self._network.compiled().seg_midpoint_xy
+        sx, sy = midpoints[sd_pair[0]]
+        dx, dy = midpoints[sd_pair[1]]
+        arr = self._sd_mid_array
+        distances = np.hypot(sx - arr[:, 0], sy - arr[:, 1]) + np.hypot(
+            dx - arr[:, 2], dy - arr[:, 3]
+        )
+        # First minimum matches the historical ``min`` over dict order.
+        return self._sd_keys[int(np.argmin(distances))]
+
+    def _reference_key(self, sd_pair: Tuple[int, int]) -> Optional[Tuple[int, int]]:
+        """The SD key whose reference set scores ``sd_pair`` (or None if empty)."""
         if sd_pair in self._references:
-            return self._references[sd_pair]
+            return sd_pair
         if not self._references:
-            return []
-        if self._network is None or not self._sd_midpoints:
-            # Without geometry, fall back to the largest reference set.
-            return max(self._references.values(), key=len)
-        source_mid = self._network.segment_midpoint(sd_pair[0])
-        destination_mid = self._network.segment_midpoint(sd_pair[1])
+            return None
+        closest = self._closest_sd(sd_pair)
+        if closest is not None:
+            return closest
+        # Without geometry, fall back to the largest reference set.
+        return max(self._references, key=lambda sd: len(self._references[sd]))
 
-        def distance(sd: Tuple[int, int]) -> float:
-            ref_source, ref_destination = self._sd_midpoints[sd]
-            return euclidean_distance(source_mid, ref_source) + euclidean_distance(
-                destination_mid, ref_destination
-            )
-
-        closest = min(self._sd_midpoints, key=distance)
-        return self._references[closest]
-
-    def _segment_support(self, segment: int, references: Sequence[frozenset]) -> float:
-        if not references:
-            return 0.0
-        return sum(1 for reference in references if segment in reference) / len(references)
+    def _membership_for(self, key: Tuple[int, int]) -> np.ndarray:
+        """Boolean ``(num_references, num_segments)`` matrix for one SD key."""
+        matrix = self._membership.get(key)
+        if matrix is None:
+            references = self._references[key]
+            matrix = np.zeros((len(references), self._num_segments), dtype=bool)
+            for row, reference in enumerate(references):
+                matrix[row, np.fromiter(reference, dtype=np.int64)] = True
+            self._membership[key] = matrix
+        return matrix
 
     def score_trajectory(self, trajectory: MapMatchedTrajectory) -> float:
-        """Fraction of segments isolated by the adaptive-window comparison."""
+        """Fraction of segments isolated by the adaptive-window comparison.
+
+        The adaptive window is a running AND over membership-matrix columns:
+        ``supported[r]`` stays True while reference ``r`` contains every
+        segment of the current window, so each step costs one vectorised AND
+        and a popcount rather than a Python scan over reference frozensets.
+        """
         self._require_fitted()
-        references = self._reference_for(trajectory.sd_pair.as_tuple())
-        if not references:
+        key = self._reference_key(trajectory.sd_pair.as_tuple())
+        if key is None:
             # No information at all: maximally uncertain, flag as anomalous.
             return 1.0
+        membership = self._membership_for(key)
+        num_references = membership.shape[0]
+        columns = membership[:, np.asarray(trajectory.segments, dtype=np.int64)]
 
         anomalous_segments = 0
-        window: List[int] = []
-        for segment in trajectory.segments:
-            window.append(segment)
-            # Support of the current window: reference trajectories containing
-            # every segment of the window.
-            support = sum(
-                1 for reference in references if all(s in reference for s in window)
-            ) / len(references)
-            if support < self.support_threshold and len(window) >= self.min_window:
+        supported = np.ones(num_references, dtype=bool)
+        window_length = 0
+        for i in range(columns.shape[1]):
+            np.logical_and(supported, columns[:, i], out=supported)
+            window_length += 1
+            support = int(supported.sum()) / num_references
+            if support < self.support_threshold and window_length >= self.min_window:
                 # The window is isolated; count the newly added segment as
                 # anomalous and reset the adaptive window (keeping the latest
                 # segment as its seed), as in the original iBOAT.
                 anomalous_segments += 1
-                window = [segment]
+                supported = columns[:, i].copy()
+                window_length = 1
         return anomalous_segments / len(trajectory.segments)
 
     def score(self, dataset: TrajectoryDataset) -> np.ndarray:

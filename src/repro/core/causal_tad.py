@@ -84,6 +84,7 @@ class CausalTAD(Module):
         self.config = config
         self.tg_vae = TGVAE(config, rng=rng)
         self.rp_vae = RPVAE(config, rng=rng)
+        self._road_graph = None
         self._transition_mask: Optional[np.ndarray] = None
         if network is not None:
             self.attach_network(network)
@@ -92,17 +93,37 @@ class CausalTAD(Module):
     # road network
     # ------------------------------------------------------------------ #
     def attach_network(self, network: RoadNetwork) -> None:
-        """Attach the road network supplying the road-constrained decoding mask."""
+        """Attach the road network supplying the road-constrained decoding structure.
+
+        Stores the network's compiled CSR graph; the fused decoder loss, the
+        scoring paths and the serving engine all consume its O(E) successor
+        tables.  The dense ``(V, V)`` transition mask is *not* materialised —
+        it stays available through :attr:`transition_mask` as an opt-in
+        compatibility view (per-step autograd decoder, external callers).
+        """
         if network.num_segments != self.config.num_segments:
             raise ValueError(
                 f"network has {network.num_segments} segments but the model was "
                 f"configured for {self.config.num_segments}"
             )
-        self._transition_mask = network.transition_mask()
+        self._road_graph = network.compiled()
+        self._transition_mask = None
+
+    @property
+    def road_graph(self):
+        """The attached :class:`~repro.roadnet.csr.CompiledRoadGraph`, if any."""
+        return self._road_graph
 
     @property
     def transition_mask(self) -> Optional[np.ndarray]:
+        """Dense successor matrix (compat view; densified lazily on access)."""
+        if self._transition_mask is None and self._road_graph is not None:
+            self._transition_mask = self._road_graph.transition_mask()
         return self._transition_mask
+
+    def _road_constraint(self):
+        """What the TG-VAE receives: the compiled graph when attached."""
+        return self._road_graph if self._road_graph is not None else self._transition_mask
 
     @property
     def fused(self) -> bool:
@@ -119,7 +140,7 @@ class CausalTAD(Module):
     # ------------------------------------------------------------------ #
     def forward(self, batch: EncodedBatch) -> CausalTADLoss:
         """Joint loss of Eq. (9) for one batch."""
-        tg_out = self.tg_vae(batch, transition_mask=self._transition_mask)
+        tg_out = self.tg_vae(batch, transition_mask=self._road_constraint())
         rp_out = self.rp_vae(batch)
         total = tg_out.loss + rp_out.loss
         return CausalTADLoss(total=total, tg_loss=tg_out.loss.item(), rp_loss=rp_out.loss.item())
@@ -145,7 +166,7 @@ class CausalTAD(Module):
         self.eval()
         try:
             with no_grad():
-                likelihood_term = self.tg_vae.negative_elbo(batch, self._transition_mask)
+                likelihood_term = self.tg_vae.negative_elbo(batch, self._road_constraint())
                 if not use_scaling or lam == 0.0:
                     return likelihood_term
                 scaling = self.scaling_factors()
@@ -214,7 +235,7 @@ class CausalTAD(Module):
         self.eval()
         try:
             with no_grad():
-                step_scores = self.tg_vae.step_scores(batch, self._transition_mask)[0]
+                step_scores = self.tg_vae.step_scores(batch, self._road_constraint())[0]
                 scaling = self.scaling_factors()
         finally:
             self.train(was_training)

@@ -132,13 +132,37 @@ def advance_sessions(
     embedded = tg.segment_embedding.weight.data[previous_segments]
     new_hidden = tg.decoder_rnn.cell.step(embedded, hidden)
     logits = new_hidden @ tg.output_projection.weight.data + tg.output_projection.bias.data
-    if model.transition_mask is not None and config.road_constrained:
+    rows = np.arange(next_segments.shape[0])
+    if config.road_constrained and getattr(model, "road_graph", None) is not None:
+        # Sparse road-constrained step: normalise over each ride's successor
+        # set only — O(out-degree) gathered columns instead of masking and
+        # exponentiating the full (batch, vocab) row.  The arithmetic mirrors
+        # ``fused_successor_nll`` operation-for-operation, so serving scores
+        # match the offline fused scorer bit-for-bit.
+        succ_idx, succ_valid = model.road_graph.successor_tables()
+        cand_idx = succ_idx[previous_segments]
+        cand_valid = succ_valid[previous_segments]
+        if not cand_valid.any(axis=-1).all():
+            raise ValueError("masked_log_softmax requires at least one allowed position per row")
+        cand = np.take_along_axis(logits, cand_idx, axis=-1)
+        shift = np.max(cand, axis=-1, keepdims=True, where=cand_valid, initial=NEG_INF)
+        exp_shifted = np.exp(np.minimum(cand - shift, 0.0))
+        exp_shifted *= cand_valid
+        log_z = np.log(exp_shifted.sum(axis=-1, keepdims=True))
+        allowed_next = ((cand_idx == next_segments[:, None]) & cand_valid).any(axis=-1)
+        picked = np.where(allowed_next, logits[rows, next_segments], NEG_INF)[:, None]
+        step_likelihoods = (log_z - (picked - shift))[:, 0]
+        return new_hidden, step_likelihoods
+    if config.road_constrained and model.transition_mask is not None:
+        # Dense-mask compatibility path (model constrained by an explicit
+        # (V, V) matrix rather than an attached network).  road_constrained
+        # is tested first: the transition_mask property densifies lazily, and
+        # an unconstrained model must never pay for the O(V^2) view.
         allowed = model.transition_mask[previous_segments]
         if not allowed.any(axis=-1).all():
             raise ValueError("masked_log_softmax requires at least one allowed position per row")
         # ``logits`` is freshly allocated above, so masking in place is safe.
         np.copyto(logits, NEG_INF, where=~allowed)
-    rows = np.arange(next_segments.shape[0])
     step_likelihoods = -_gather_log_softmax_np(logits, rows, next_segments)
     return new_hidden, step_likelihoods
 

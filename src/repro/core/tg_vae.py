@@ -45,6 +45,7 @@ from repro.nn import (
     sequence_nll,
 )
 from repro.nn.fused import build_successor_table
+from repro.roadnet.csr import CompiledRoadGraph
 from repro.trajectory.dataset import EncodedBatch
 from repro.utils.rng import RandomState, get_rng
 
@@ -105,12 +106,27 @@ class TGVAE(Module):
         # recycled by a different array while the tables are alive.
         self._successor_cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
-    def _successor_tables(self, transition_mask: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    def _successor_tables(self, transition_mask) -> Tuple[np.ndarray, np.ndarray]:
+        """Padded successor gather tables for a dense mask or compiled graph.
+
+        A :class:`~repro.roadnet.csr.CompiledRoadGraph` carries its own cached
+        tables (built straight from the CSR arrays, no densification); dense
+        masks keep the historical build-and-cache-per-identity path.
+        """
+        if isinstance(transition_mask, CompiledRoadGraph):
+            return transition_mask.successor_tables()
         cache = self._successor_cache
         if cache is None or cache[0] is not transition_mask:
             idx, valid = build_successor_table(transition_mask)
             self._successor_cache = (transition_mask, idx, valid)
         return self._successor_cache[1], self._successor_cache[2]
+
+    @staticmethod
+    def _target_allowed(transition_mask, safe_inputs: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Whether each target is a graph successor of its input segment."""
+        if isinstance(transition_mask, CompiledRoadGraph):
+            return transition_mask.successors_contain(safe_inputs, targets)
+        return transition_mask[safe_inputs, targets]
 
     # ------------------------------------------------------------------ #
     # pieces
@@ -151,6 +167,10 @@ class TGVAE(Module):
         """
         if transition_mask is None or not self.config.road_constrained:
             return None
+        if isinstance(transition_mask, CompiledRoadGraph):
+            # The per-step graph decoder is the dense compatibility path;
+            # densify (cached on the graph) rather than scatter per batch.
+            transition_mask = transition_mask.transition_mask()
         safe_inputs = np.where(inputs >= self.config.num_segments, 0, inputs)
         step_mask = transition_mask[safe_inputs]
         return step_mask | (inputs >= self.config.num_segments)[..., None]
@@ -210,7 +230,9 @@ class TGVAE(Module):
                 inputs = batch.inputs
                 padded = inputs >= config.num_segments
                 safe_inputs = np.where(padded, 0, inputs)
-                target_allowed = transition_mask[safe_inputs, batch.targets] | padded
+                target_allowed = (
+                    self._target_allowed(transition_mask, safe_inputs, batch.targets) | padded
+                )
                 per_step_nll = fused_successor_nll(
                     logits,
                     batch.targets,

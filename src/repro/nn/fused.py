@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.nn.functional import NEG_INF
 from repro.nn.tensor import Tensor, as_tensor, is_grad_enabled
+from repro.utils.arrays import pad_ragged_rows
 
 __all__ = [
     "gru_sequence",
@@ -613,17 +614,11 @@ def build_successor_table(transition_mask: np.ndarray) -> Tuple[np.ndarray, np.n
     no successors keep ``idx = 0`` and all-False ``valid``.
     """
     tm = np.asarray(transition_mask, dtype=bool)
-    degrees = tm.sum(axis=1)
-    max_degree = max(int(degrees.max()), 1)
-    idx = np.zeros((tm.shape[0], max_degree), dtype=np.int64)
-    valid = np.zeros((tm.shape[0], max_degree), dtype=bool)
-    for v in range(tm.shape[0]):
-        successors = np.flatnonzero(tm[v])
-        if successors.size:
-            idx[v, : successors.size] = successors
-            idx[v, successors.size :] = successors[0]
-            valid[v, : successors.size] = True
-    return idx, valid
+    # ``nonzero`` walks the mask row-major, so within each row the successor
+    # columns come out ascending; the padded packing itself is shared with
+    # the CSR builder so both stay bit-identical.
+    rows, cols = np.nonzero(tm)
+    return pad_ragged_rows(rows, cols, tm.sum(axis=1), tm.shape[0])
 
 
 def fused_successor_nll(

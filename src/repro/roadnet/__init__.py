@@ -12,15 +12,26 @@ from repro.roadnet.spatial import (
     euclidean_distance,
     haversine_distance,
     project_point_to_segment,
+    project_points_to_segments,
     polyline_length,
     interpolate_along,
 )
 from repro.roadnet.network import RoadClass, Intersection, RoadSegment, RoadNetwork
+from repro.roadnet.csr import (
+    CompiledRoadGraph,
+    UniformGridIndex,
+    compile_road_graph,
+    csr_dijkstra,
+    csr_dijkstra_batched,
+)
 from repro.roadnet.shortest_path import (
     dijkstra_route,
     dijkstra_distances,
+    batched_dijkstra_distances,
     route_between_segments,
     k_shortest_routes,
+    legacy_dijkstra_route,
+    legacy_dijkstra_distances,
 )
 from repro.roadnet.preference import PointOfInterest, RoadPreferenceField
 from repro.roadnet.generators import (
@@ -38,16 +49,25 @@ __all__ = [
     "euclidean_distance",
     "haversine_distance",
     "project_point_to_segment",
+    "project_points_to_segments",
     "polyline_length",
     "interpolate_along",
     "RoadClass",
     "Intersection",
     "RoadSegment",
     "RoadNetwork",
+    "CompiledRoadGraph",
+    "UniformGridIndex",
+    "compile_road_graph",
+    "csr_dijkstra",
+    "csr_dijkstra_batched",
     "dijkstra_route",
     "dijkstra_distances",
+    "batched_dijkstra_distances",
     "route_between_segments",
     "k_shortest_routes",
+    "legacy_dijkstra_route",
+    "legacy_dijkstra_distances",
     "PointOfInterest",
     "RoadPreferenceField",
     "CityConfig",

@@ -96,8 +96,10 @@ class RoadNetwork:
         self._out_segments: Dict[int, List[int]] = {}
         self._in_segments: Dict[int, List[int]] = {}
         self._segment_by_nodes: Dict[Tuple[int, int], int] = {}
-        self._transition_mask: Optional[np.ndarray] = None
         self._successor_cache: Optional[Dict[int, List[int]]] = None
+        self._compiled = None
+        self._min_segment_id = 0
+        self._max_segment_id = -1
 
     # ------------------------------------------------------------------ #
     # construction
@@ -144,6 +146,8 @@ class RoadNetwork:
             speed_limit = RoadClass.DEFAULT_SPEEDS[road_class]
         segment = RoadSegment(segment_id, start_node, end_node, float(length), road_class, float(speed_limit))
         self._segments[segment_id] = segment
+        self._min_segment_id = min(self._min_segment_id, segment_id)
+        self._max_segment_id = max(self._max_segment_id, segment_id)
         self._out_segments[start_node].append(segment_id)
         self._in_segments[end_node].append(segment_id)
         self._segment_by_nodes[(start_node, end_node)] = segment_id
@@ -163,8 +167,32 @@ class RoadNetwork:
         return forward, backward
 
     def _invalidate(self) -> None:
-        self._transition_mask = None
         self._successor_cache = None
+        self._compiled = None
+
+    # ------------------------------------------------------------------ #
+    # compiled CSR view
+    # ------------------------------------------------------------------ #
+    def compiled(self):
+        """The cached :class:`~repro.roadnet.csr.CompiledRoadGraph` of this network.
+
+        Compiling freezes the dict-of-lists graph into flat CSR numpy arrays
+        plus a uniform-grid spatial index; every hot path (Dijkstra routing,
+        map matching, midpoint/route geometry, successor tables for the
+        road-constrained models) runs on that view.  The cache is invalidated
+        whenever the network is mutated.
+        """
+        if self._compiled is None:
+            from repro.roadnet.csr import CompiledRoadGraph
+
+            self._compiled = CompiledRoadGraph(self)
+        return self._compiled
+
+    def _contiguous_segment_ids(self) -> bool:
+        """Whether segment ids are exactly ``0..num_segments-1`` (compilable)."""
+        return not self._segments or (
+            self._min_segment_id == 0 and self._max_segment_id == len(self._segments) - 1
+        )
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -209,12 +237,27 @@ class RoadNetwork:
         """Segments arriving at ``node_id``."""
         return [self._segments[s] for s in self._in_segments.get(node_id, [])]
 
+    def out_segment_ids(self, node_id: int) -> List[int]:
+        """Ids of segments leaving ``node_id``, in insertion order."""
+        return list(self._out_segments.get(node_id, []))
+
     def segment_midpoint(self, segment_id: int) -> Point:
-        """Geometric midpoint of a segment (used for visualisation and matching)."""
-        seg = self._segments[segment_id]
-        a = self._intersections[seg.start_node].location
-        b = self._intersections[seg.end_node].location
-        return Point((a.x + b.x) / 2.0, (a.y + b.y) / 2.0)
+        """Geometric midpoint of a segment (used for visualisation and matching).
+
+        Served from the compiled graph's precomputed midpoint array instead of
+        re-deriving the geometry from the endpoint dataclasses on every call.
+        Networks with non-contiguous segment ids (not compilable) fall back to
+        the direct computation.
+        """
+        if segment_id not in self._segments:
+            raise KeyError(segment_id)
+        if not self._contiguous_segment_ids():
+            seg = self._segments[segment_id]
+            a = self._intersections[seg.start_node].location
+            b = self._intersections[seg.end_node].location
+            return Point((a.x + b.x) / 2.0, (a.y + b.y) / 2.0)
+        mid = self.compiled().seg_midpoint_xy[segment_id]
+        return Point(float(mid[0]), float(mid[1]))
 
     # ------------------------------------------------------------------ #
     # segment-level adjacency (road-constrained decoding)
@@ -242,18 +285,14 @@ class RoadNetwork:
     def transition_mask(self) -> np.ndarray:
         """Boolean matrix ``M`` with ``M[i, j] = True`` iff ``j`` may follow ``i``.
 
-        Shape is ``(num_segments, num_segments)``.  The TG-VAE decoder indexes
-        rows of this matrix with the current segment of the ongoing trajectory
-        to mask the next-segment softmax (the paper's road-constrained
-        prediction).
+        Shape is ``(num_segments, num_segments)``.  This dense O(N²) view is
+        the *opt-in compatibility path*: the road-constrained models and the
+        serving engine consume the compiled graph's CSR successor tables
+        directly (:meth:`~repro.roadnet.csr.CompiledRoadGraph.successor_tables`),
+        and only the per-step autograd decoder (``fused=False``) and external
+        consumers of the historical API still densify.
         """
-        if self._transition_mask is None:
-            n = self.num_segments
-            mask = np.zeros((n, n), dtype=bool)
-            for sid, followers in self._successors().items():
-                mask[sid, followers] = True
-            self._transition_mask = mask
-        return self._transition_mask
+        return self.compiled().transition_mask()
 
     def are_connected(self, first_segment: int, second_segment: int) -> bool:
         """Whether ``second_segment`` may directly follow ``first_segment``."""
@@ -262,18 +301,42 @@ class RoadNetwork:
         return first.end_node == second.start_node
 
     def is_valid_route(self, segment_ids: Sequence[int]) -> bool:
-        """Whether a sequence of segment ids forms a connected route."""
-        if not segment_ids:
+        """Whether a sequence of segment ids forms a connected route.
+
+        Runs as two vectorised checks on the compiled arrays (id range, then
+        endpoint chaining) instead of per-edge dict lookups; non-compilable
+        networks (non-contiguous segment ids) use the per-edge path.
+        """
+        if len(segment_ids) == 0:
             return False
-        if any(sid not in self._segments for sid in segment_ids):
+        if not self._contiguous_segment_ids():
+            if any(sid not in self._segments for sid in segment_ids):
+                return False
+            return all(
+                self.are_connected(a, b) for a, b in zip(segment_ids[:-1], segment_ids[1:])
+            )
+        graph = self.compiled()
+        ids = np.asarray(segment_ids, dtype=np.int64)
+        if ids.ndim != 1 or ids.size == 0:
             return False
-        return all(
-            self.are_connected(a, b) for a, b in zip(segment_ids[:-1], segment_ids[1:])
-        )
+        if ids.min() < 0 or ids.max() >= graph.num_segments:
+            return False
+        return bool((graph.seg_end[ids[:-1]] == graph.seg_start[ids[1:]]).all())
 
     def route_length(self, segment_ids: Sequence[int]) -> float:
         """Total length (metres) of a route given as segment ids."""
-        return float(sum(self._segments[sid].length for sid in segment_ids))
+        if len(segment_ids) == 0:
+            return 0.0
+        if not self._contiguous_segment_ids():
+            return float(sum(self._segments[sid].length for sid in segment_ids))
+        graph = self.compiled()
+        ids = np.asarray(segment_ids, dtype=np.int64)
+        if ids.min() < 0 or ids.max() >= graph.num_segments:
+            bad = ids[(ids < 0) | (ids >= graph.num_segments)]
+            raise KeyError(int(bad[0]))
+        # Sequential Python summation over the gathered lengths keeps the
+        # result bit-identical to the historical per-segment accumulation.
+        return float(sum(graph.seg_length[ids].tolist()))
 
     # ------------------------------------------------------------------ #
     # interoperability / serialization

@@ -82,17 +82,32 @@ class RoadPreferenceField:
         rng = get_rng(rng)
 
         n = network.num_segments
-        attractiveness = np.zeros(n, dtype=np.float64)
-        destination_weight = np.zeros(n, dtype=np.float64)
-        for seg in network.segments():
-            base = self.class_preference.get(seg.road_class, 0.2)
-            midpoint = network.segment_midpoint(seg.segment_id)
-            poi_boost = sum(self._poi_influence(poi, midpoint) for poi in self.pois)
-            noise = float(np.exp(rng.normal(0.0, noise_std))) if noise_std > 0 else 1.0
-            attractiveness[seg.segment_id] = (base + 0.5 * poi_boost) * noise
-            # Destination popularity is dominated by POI proximity but every
-            # segment keeps a small floor so any segment *can* be a destination.
-            destination_weight[seg.segment_id] = 0.05 * base + poi_boost
+        base = np.array(
+            [self.class_preference.get(seg.road_class, 0.2) for seg in network.segments()],
+            dtype=np.float64,
+        )
+        # POI influence over the compiled midpoint array.  The per-POI maths
+        # stays scalar (``math.hypot`` distance, Python ``**``) so the field
+        # is bit-identical to the historical per-segment loop — seeded
+        # datasets must not shift under the CSR refactor — but the midpoints
+        # come precomputed from the compiled graph instead of being re-derived
+        # from the endpoint dataclasses on every call.
+        poi_boost = np.zeros(n, dtype=np.float64)
+        if self.pois and n:
+            midpoints = network.compiled().seg_midpoint_xy
+            for sid in range(n):
+                mid = Point(float(midpoints[sid, 0]), float(midpoints[sid, 1]))
+                poi_boost[sid] = sum(self._poi_influence(poi, mid) for poi in self.pois)
+        if noise_std > 0 and n:
+            # One vectorised draw consumes the generator stream exactly like
+            # the historical per-segment scalar draws.
+            noise = np.exp(rng.normal(0.0, noise_std, size=n))
+        else:
+            noise = np.ones(n, dtype=np.float64)
+        attractiveness = (base + 0.5 * poi_boost) * noise
+        # Destination popularity is dominated by POI proximity but every
+        # segment keeps a small floor so any segment *can* be a destination.
+        destination_weight = 0.05 * base + poi_boost
 
         self._attractiveness = attractiveness
         self._destination_weight = destination_weight + 1e-3
@@ -130,6 +145,24 @@ class RoadPreferenceField:
         segment = self.network.segment(segment_id)
         attraction = max(self._attractiveness[segment_id], 1e-6)
         return segment.length / (attraction**preference_strength)
+
+    def cost_array(self, preference_strength: float = 1.0) -> np.ndarray:
+        """All segment routing costs at once: ``length / attractiveness^strength``.
+
+        Bit-identical to calling :meth:`segment_cost` per segment (the power
+        is evaluated with the same scalar kernel — numpy's vectorised ``**``
+        may differ from the scalar one by 1 ulp, which would break route
+        parity with the per-edge legacy path).  The route-choice model
+        multiplies this base array by per-trip noise and hands the product
+        straight to the CSR Dijkstra as its weight vector, removing every
+        per-edge Python call from route sampling.
+        """
+        lengths = self.network.compiled().seg_length
+        attraction = np.maximum(self._attractiveness, 1e-6)
+        powered = np.array(
+            [a**preference_strength for a in attraction], dtype=np.float64
+        )
+        return lengths / powered
 
     def popularity_ranking(self) -> np.ndarray:
         """Segment ids sorted from most to least attractive."""

@@ -9,8 +9,12 @@ executes them in **vectorized micro-batches**: each :meth:`tick` performs
 * one batched SD encoding for every ride that started since the last tick
   (:func:`~repro.core.scoring_kernel.init_session_states`), and
 * one batched embedding lookup + one batched GRU-cell step + one batched
-  masked log-softmax for every ride with a pending observation
-  (:func:`~repro.core.scoring_kernel.advance_sessions`),
+  log-softmax for every ride with a pending observation
+  (:func:`~repro.core.scoring_kernel.advance_sessions`).  With a road network
+  attached the softmax normalises over each ride's CSR successor set
+  (:meth:`CompiledRoadGraph.successor_tables
+  <repro.roadnet.csr.CompiledRoadGraph.successor_tables>`) — O(out-degree)
+  gathered columns per ride instead of masking the full segment vocabulary,
 
 so the per-segment cost is a handful of matrix ops for *all* pending rides
 instead of N scalar passes.  Scores are identical to the per-ride path — both

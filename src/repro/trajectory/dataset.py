@@ -93,14 +93,21 @@ def encode_batch(
     batch = len(trajectories)
 
     full = np.full((batch, max_len), pad_id, dtype=np.int64)
-    for row, trajectory in enumerate(trajectories):
-        segs = np.asarray(trajectory.segments, dtype=np.int64)
-        if segs.min() < 0 or segs.max() >= num_segments:
-            raise ValueError(
-                f"trajectory {trajectory.trajectory_id} contains segment ids outside "
-                f"[0, {num_segments})"
-            )
-        full[row, : len(segs)] = segs
+    # One flat scatter instead of a per-trajectory copy loop: concatenate all
+    # segment sequences, bounds-check once, and write them through a
+    # (row, column) index pair derived from the lengths.
+    flat = np.concatenate([np.asarray(t.segments, dtype=np.int64) for t in trajectories])
+    if flat.size and (flat.min() < 0 or flat.max() >= num_segments):
+        starts = np.cumsum(lengths) - lengths
+        bad = np.flatnonzero((flat < 0) | (flat >= num_segments))[0]
+        row = int(np.searchsorted(starts, bad, side="right")) - 1
+        raise ValueError(
+            f"trajectory {trajectories[row].trajectory_id} contains segment ids outside "
+            f"[0, {num_segments})"
+        )
+    rows = np.repeat(np.arange(batch, dtype=np.int64), lengths)
+    cols = np.arange(flat.size, dtype=np.int64) - np.repeat(np.cumsum(lengths) - lengths, lengths)
+    full[rows, cols] = flat
 
     full_mask = full != pad_id
     inputs = full[:, :-1].copy()

@@ -28,7 +28,7 @@ import numpy as np
 from repro.roadnet.generators import SyntheticCity
 from repro.roadnet.network import RoadNetwork, RoadSegment
 from repro.roadnet.preference import RoadPreferenceField
-from repro.roadnet.shortest_path import dijkstra_route
+from repro.roadnet.shortest_path import dijkstra_route, legacy_dijkstra_route
 from repro.trajectory.types import MapMatchedTrajectory, SDPair
 from repro.utils.rng import RandomState, get_rng
 
@@ -74,6 +74,13 @@ class RouteChoiceModel:
     choice model) and runs Dijkstra on the perturbed costs.  Repeated sampling
     for the same SD pair therefore yields a mixture of plausible routes whose
     probabilities reflect both distance and road preference.
+
+    With ``compiled=True`` (the default) the preference-weighted base costs
+    are precomputed once as an array and each trip is a single vectorised
+    noise multiply followed by a CSR Dijkstra on the compiled graph —
+    bit-identical routes to the legacy per-edge callable path (``compiled=
+    False``, kept for parity tests and benchmarking), with no per-edge Python
+    dispatch left.
     """
 
     def __init__(
@@ -81,10 +88,15 @@ class RouteChoiceModel:
         network: RoadNetwork,
         preference: RoadPreferenceField,
         config: Optional[SimulatorConfig] = None,
+        compiled: bool = True,
     ) -> None:
         self.network = network
         self.preference = preference
         self.config = config or SimulatorConfig()
+        self.compiled = compiled
+        self._base_costs: Optional[np.ndarray] = None
+        if compiled:
+            self._base_costs = preference.cost_array(self.config.preference_strength)
 
     def sample_route(
         self,
@@ -102,23 +114,29 @@ class RouteChoiceModel:
         noise = rng.normal(0.0, cfg.utility_noise, size=self.network.num_segments)
         noise_factor = np.exp(noise)
 
-        def trip_cost(segment: RoadSegment) -> float:
-            base = self.preference.segment_cost(segment.segment_id, cfg.preference_strength)
-            return base * float(noise_factor[segment.segment_id])
-
-        src = self.network.segment(source_segment)
-        dst = self.network.segment(destination_segment)
         if source_segment == destination_segment:
             return None
-        middle = dijkstra_route(self.network, src.end_node, dst.start_node, weight=trip_cost)
+        src = self.network.segment(source_segment)
+        dst = self.network.segment(destination_segment)
+        if self.compiled:
+            middle = dijkstra_route(
+                self.network,
+                src.end_node,
+                dst.start_node,
+                weight=self._base_costs * noise_factor,
+            )
+        else:
+
+            def trip_cost(segment: RoadSegment) -> float:
+                base = self.preference.segment_cost(segment.segment_id, cfg.preference_strength)
+                return base * float(noise_factor[segment.segment_id])
+
+            middle = legacy_dijkstra_route(
+                self.network, src.end_node, dst.start_node, weight=trip_cost
+            )
         if middle is None:
             return None
-        route = [source_segment, *middle, destination_segment]
-        deduped = [route[0]]
-        for sid in route[1:]:
-            if sid != deduped[-1]:
-                deduped.append(sid)
-        return deduped if self.network.is_valid_route(deduped) else None
+        return self._join(source_segment, middle, destination_segment)
 
     def shortest_route(self, source_segment: int, destination_segment: int) -> Optional[List[int]]:
         """The preference-free shortest route (used as a reference by tests)."""
@@ -127,6 +145,12 @@ class RouteChoiceModel:
         middle = dijkstra_route(self.network, src.end_node, dst.start_node)
         if middle is None:
             return None
+        return self._join(source_segment, middle, destination_segment)
+
+    def _join(
+        self, source_segment: int, middle: List[int], destination_segment: int
+    ) -> Optional[List[int]]:
+        """Source + middle + destination with immediate duplicates collapsed."""
         route = [source_segment, *middle, destination_segment]
         deduped = [route[0]]
         for sid in route[1:]:
@@ -143,12 +167,15 @@ class TrajectorySimulator:
         city: SyntheticCity,
         config: Optional[SimulatorConfig] = None,
         rng: Optional[RandomState] = None,
+        compiled: bool = True,
     ) -> None:
         self.city = city
         self.network = city.network
         self.preference = city.preference
         self.config = config or SimulatorConfig()
-        self.route_model = RouteChoiceModel(self.network, self.preference, self.config)
+        self.route_model = RouteChoiceModel(
+            self.network, self.preference, self.config, compiled=compiled
+        )
         self._rng = get_rng(rng)
         self._counter = 0
 
@@ -233,14 +260,21 @@ class TrajectorySimulator:
         return out
 
     def _synthesise_timestamps(self, route: Sequence[int], rng: RandomState) -> List[float]:
-        """Per-segment entry times from free-flow travel times plus jitter."""
+        """Per-segment entry times from free-flow travel times plus jitter.
+
+        One vectorised jitter draw plus a gather from the compiled
+        travel-time array; the running ``cumsum`` reproduces the historical
+        left-to-right accumulation exactly.
+        """
         start = float(rng.uniform(0.0, 24.0 * 3600.0))
-        timestamps = [start]
-        for sid in route[:-1]:
-            segment = self.network.segment(sid)
-            factor = max(0.3, 1.0 + float(rng.normal(0.0, self.config.speed_noise)))
-            timestamps.append(timestamps[-1] + segment.travel_time * factor)
-        return timestamps
+        if len(route) <= 1:
+            return [start]
+        draws = rng.normal(0.0, self.config.speed_noise, size=len(route) - 1)
+        factors = np.maximum(0.3, 1.0 + draws)
+        travel_times = self.network.compiled().seg_travel_time[
+            np.asarray(route[:-1], dtype=np.int64)
+        ]
+        return np.cumsum(np.concatenate(([start], travel_times * factors))).tolist()
 
     # ------------------------------------------------------------------ #
     # dataset-level helpers

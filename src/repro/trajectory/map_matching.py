@@ -99,6 +99,15 @@ class MapMatcher:
     non-adjacent segments are penalised.  Consecutive duplicates are collapsed
     and gaps between non-adjacent chosen segments are bridged with shortest
     paths so that the result is always a *connected* route.
+
+    With ``compiled=True`` (the default) candidates come from the compiled
+    graph's grid-accelerated :meth:`~repro.roadnet.csr.CompiledRoadGraph.
+    nearest_segments` — only grid-local segments are projected, instead of
+    every segment for every point — and the Viterbi runs on padded
+    ``(points, candidates)`` arrays.  ``compiled=False`` keeps the original
+    exhaustive-scan + dict implementation; both produce identical routes
+    (same costs, same first-minimum tie-breaking), which the parity tests and
+    the roadnet pipeline benchmark assert.
     """
 
     def __init__(
@@ -107,16 +116,20 @@ class MapMatcher:
         num_candidates: int = 4,
         disconnect_penalty: float = 250.0,
         heading_weight: float = 60.0,
+        compiled: bool = True,
     ) -> None:
         self.network = network
         self.num_candidates = num_candidates
         self.disconnect_penalty = disconnect_penalty
         self.heading_weight = heading_weight
+        self.compiled = compiled
+        self._graph = network.compiled() if compiled else None
         self._segment_geometry: List[Tuple[int, Point, Point]] = []
-        for seg in network.segments():
-            start = network.intersection(seg.start_node).location
-            end = network.intersection(seg.end_node).location
-            self._segment_geometry.append((seg.segment_id, start, end))
+        if not compiled:
+            for seg in network.segments():
+                start = network.intersection(seg.start_node).location
+                end = network.intersection(seg.end_node).location
+                self._segment_geometry.append((seg.segment_id, start, end))
 
     # ------------------------------------------------------------------ #
     def _candidates(
@@ -145,6 +158,67 @@ class MapMatcher:
 
     def match(self, trajectory: Trajectory) -> MatchResult:
         """Match a raw GPS trajectory to a connected road-segment route."""
+        if self.compiled:
+            return self._match_compiled(trajectory)
+        return self._match_legacy(trajectory)
+
+    def _match_compiled(self, trajectory: Trajectory) -> MatchResult:
+        """Vectorised candidates + array Viterbi on the compiled graph."""
+        graph = self._graph
+        points = trajectory.points
+        num_points = len(points)
+        xy = np.array([(p.x, p.y) for p in points], dtype=np.float64).reshape(num_points, 2)
+        headings = np.empty_like(xy)
+        headings[:-1] = xy[1:]
+        headings[-1] = xy[-1]
+        headings[1:] -= xy[:-1]
+        headings[0] -= xy[0]
+
+        k = min(self.num_candidates, graph.num_segments)
+        sids, costs = graph.nearest_segments(
+            xy, k, headings=headings, heading_weight=self.heading_weight
+        )
+        valid = sids >= 0
+        safe = np.where(valid, sids, 0)
+        end_nodes = graph.seg_end[safe]
+        start_nodes = graph.seg_start[safe]
+
+        # Viterbi over the padded candidate grid.  ``argmin`` picks the first
+        # minimum, matching the reference implementation's strict-improvement
+        # scan over candidates in (cost, segment-id) order.
+        columns = np.arange(k)
+        cumulative = costs[0].copy()
+        back = np.zeros((num_points, k), dtype=np.int64)
+        for i in range(1, num_points):
+            connected = end_nodes[i - 1][:, None] == start_nodes[i][None, :]
+            same = sids[i - 1][:, None] == sids[i][None, :]
+            transition = np.where(same | connected, 0.0, self.disconnect_penalty)
+            total = (cumulative[:, None] + costs[i][None, :]) + transition
+            back[i] = np.argmin(total, axis=0)
+            cumulative = total[back[i], columns]
+
+        choice = int(np.argmin(cumulative))
+        chosen = np.empty(num_points, dtype=np.int64)
+        chosen[num_points - 1] = choice
+        for i in range(num_points - 1, 0, -1):
+            choice = int(back[i, choice])
+            chosen[i - 1] = choice
+        rows = np.arange(num_points)
+        chain = [int(s) for s in sids[rows, chosen]]
+        mean_distance = float(np.mean(costs[rows, chosen]))
+
+        route = self._connect(self._collapse(chain))
+        matched = MapMatchedTrajectory(
+            trajectory_id=trajectory.trajectory_id,
+            segments=tuple(route),
+            timestamps=None,
+        )
+        return MatchResult(
+            trajectory=matched, mean_match_distance=mean_distance, num_points_used=num_points
+        )
+
+    def _match_legacy(self, trajectory: Trajectory) -> MatchResult:
+        """The original exhaustive-scan matcher (parity/benchmark reference)."""
         points = trajectory.points
         headings: List[Optional[Tuple[float, float]]] = []
         for i in range(len(points)):
