@@ -1,7 +1,17 @@
 #!/usr/bin/env python
-"""Quickstart: train CausalTAD on a synthetic city and detect detour anomalies.
+"""Quickstart: reproduce the paper end to end, or walk the pipeline by hand.
 
-This script walks through the whole pipeline in five short steps:
+The default mode drives the experiment CLI (``python -m repro run``): it
+executes the cached, resumable stage DAG — dataset build, detector training
+with epoch checkpoints, every table/figure evaluation — and writes the
+generated Markdown report.  Re-running is nearly free (cache hits), and a
+killed run resumes from the last training checkpoint.
+
+    python examples/quickstart.py                  # orchestrated (smoke profile)
+    python examples/quickstart.py --profile quick  # larger scale
+
+``--manual`` keeps the original step-by-step walkthrough — useful to see the
+library API without the orchestration layer:
 
 1. generate a synthetic city (road network + latent road-preference field),
 2. simulate confounded taxi trajectories and build the benchmark splits,
@@ -9,12 +19,7 @@ This script walks through the whole pipeline in five short steps:
 4. score the in-distribution and out-of-distribution test combinations,
 5. report ROC-AUC / PR-AUC and show a per-segment score breakdown.
 
-Run it with::
-
-    python examples/quickstart.py [--scale small|tiny] [--seed 0]
-
-The default ``tiny`` scale finishes in a few seconds on a laptop CPU; the
-``small`` scale matches the benchmark harness and takes a couple of minutes.
+    python examples/quickstart.py --manual [--scale small|tiny] [--seed 0]
 """
 
 from __future__ import annotations
@@ -36,14 +41,48 @@ from repro.utils import RandomState
 
 def parse_args() -> argparse.Namespace:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", choices=("tiny", "small"), default="tiny",
-                        help="dataset / model size (tiny: seconds, small: minutes)")
-    parser.add_argument("--seed", type=int, default=0, help="random seed")
-    return parser.parse_args()
+    parser.add_argument("--manual", action="store_true",
+                        help="run the step-by-step library walkthrough instead of the CLI")
+    parser.add_argument("--profile", choices=("smoke", "quick", "full"), default="smoke",
+                        help="orchestrated mode: experiment scale preset")
+    parser.add_argument("--scale", choices=("tiny", "small"), default=None,
+                        help="manual mode: dataset / model size (tiny: seconds, small: minutes)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="random seed (orchestrated mode defaults to the profile seed)")
+    args = parser.parse_args()
+    if args.scale is not None and not args.manual:
+        parser.error("--scale only applies to the --manual walkthrough; "
+                     "use --profile to size the orchestrated run")
+    return args
+
+
+def run_orchestrated(args: argparse.Namespace) -> None:
+    """The CLI path: one command reproduces every table and figure.
+
+    The seed is forwarded only when the user supplies one, so this command
+    shares the artifact cache with a plain ``python -m repro run``.
+    """
+    from repro.cli import main as repro_main
+
+    argv = ["run", "--profile", args.profile]
+    if args.seed is not None:
+        argv += ["--seed", str(args.seed)]
+    print(f"Running the experiment pipeline: python -m repro {' '.join(argv)}")
+    print("(artifacts cached under ./artifacts — a second run is pure cache hits)\n")
+    exit_code = repro_main(argv)
+    if exit_code == 0:
+        print("\nDone. Open docs/REPORT.md for the generated tables and figures.")
+    raise SystemExit(exit_code)
 
 
 def main() -> None:
     args = parse_args()
+    if not args.manual:
+        run_orchestrated(args)
+    if args.scale is None:
+        args.scale = "tiny"
+    if args.seed is None:
+        args.seed = 0
     rng = RandomState(args.seed)
 
     # ------------------------------------------------------------------ #

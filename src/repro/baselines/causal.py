@@ -64,13 +64,22 @@ class CausalTADDetector(TrajectoryAnomalyDetector):
         self,
         train: TrajectoryDataset,
         network: Optional[RoadNetwork] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 1,
     ) -> "CausalTADDetector":
+        """Train on normal trajectories.
+
+        ``checkpoint_path`` enables the trainer's atomic epoch checkpoints
+        and bit-identical resume (see :meth:`repro.core.trainer.Trainer.fit`).
+        """
         if train.num_segments != self.config.num_segments:
             raise ValueError("training data and detector disagree on num_segments")
         if network is not None:
             self.model.attach_network(network)
         self.trainer = Trainer(self.model, self.config.training, rng=self._rng)
-        self.trainer.fit(train)
+        self.trainer.fit(
+            train, checkpoint_path=checkpoint_path, checkpoint_every=checkpoint_every
+        )
         self._fitted = True
         return self
 
@@ -143,11 +152,15 @@ class RPVAEOnlyDetector(TrajectoryAnomalyDetector):
         self,
         train: TrajectoryDataset,
         network: Optional[RoadNetwork] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 1,
     ) -> "RPVAEOnlyDetector":
         if train.num_segments != self.config.num_segments:
             raise ValueError("training data and detector disagree on num_segments")
         self.trainer = Trainer(self.model, self.config.training, rng=self._rng)
-        self.trainer.fit(train)
+        self.trainer.fit(
+            train, checkpoint_path=checkpoint_path, checkpoint_every=checkpoint_every
+        )
         self._fitted = True
         return self
 

@@ -1,0 +1,161 @@
+"""Command-line interface for the experiment orchestrator.
+
+Exposed as ``python -m repro`` (see :mod:`repro.__main__`):
+
+``python -m repro run``
+    Execute the full table/figure pipeline for a profile, reusing cached
+    artifacts, and write the generated Markdown report.  ``--smoke`` is
+    shorthand for ``--profile smoke`` (the CI-sized preset).
+
+``python -m repro report``
+    Re-render the report from cached artifacts only (fails with a hint when
+    the cache is cold).
+
+``python -m repro list``
+    Show every stage of the pipeline with its cache status and key.
+
+Artifacts live under ``--artifacts`` (default ``./artifacts``); the cache
+refuses any root that overlaps the installed package, so ``repro run`` can
+never write inside ``src/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments.cache import ArtifactCache
+from repro.experiments.pipeline import build_pipeline, render_report_from_cache
+from repro.experiments.profiles import PROFILES, get_profile
+
+__all__ = ["main", "build_parser"]
+
+_DEFAULT_REPORT = Path("docs") / "REPORT.md"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the paper's tables and figures with cached, resumable stages.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--profile",
+            choices=sorted(PROFILES),
+            default="smoke",
+            help="experiment scale preset (default: smoke)",
+        )
+        sub.add_argument(
+            "--smoke",
+            action="store_true",
+            help="shorthand for --profile smoke",
+        )
+        sub.add_argument(
+            "--artifacts",
+            type=Path,
+            default=Path("artifacts"),
+            help="artifact cache root (default: ./artifacts)",
+        )
+        sub.add_argument("--seed", type=int, default=None, help="override the profile seed")
+
+    run = subparsers.add_parser("run", help="execute the pipeline (cache-aware)")
+    add_common(run)
+    run.add_argument(
+        "--report",
+        type=Path,
+        default=_DEFAULT_REPORT,
+        help=f"where to write the generated report (default: {_DEFAULT_REPORT})",
+    )
+    run.add_argument("--jobs", type=int, default=4, help="parallel stage workers (default: 4)")
+    run.add_argument("--force", action="store_true", help="re-execute every stage")
+
+    report = subparsers.add_parser("report", help="re-render the report from cached artifacts")
+    add_common(report)
+    report.add_argument(
+        "--report",
+        type=Path,
+        default=_DEFAULT_REPORT,
+        help=f"where to write the generated report (default: {_DEFAULT_REPORT})",
+    )
+
+    lst = subparsers.add_parser("list", help="show pipeline stages and cache status")
+    add_common(lst)
+    return parser
+
+
+def _resolve_profile(args: argparse.Namespace):
+    name = "smoke" if getattr(args, "smoke", False) else args.profile
+    return get_profile(name, seed=args.seed)
+
+
+def _make_cache(args: argparse.Namespace) -> ArtifactCache:
+    cache = ArtifactCache(args.artifacts)
+    cache.ensure_outside_package()
+    return cache
+
+
+def _write_report(report_markdown: str, path: Path, log) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(report_markdown, encoding="utf-8")
+    log(f"report written to {path}")
+
+
+def _cmd_run(args: argparse.Namespace, log) -> int:
+    profile = _resolve_profile(args)
+    cache = _make_cache(args)
+    dag = build_pipeline(profile)
+    summary = dag.run(cache, jobs=args.jobs, force=args.force, log=log)
+    keys = dag.compute_keys()
+    _write_report(cache.load("render/report", keys["render/report"]), args.report, log)
+    log("")
+    log(summary.format_summary())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace, log) -> int:
+    profile = _resolve_profile(args)
+    cache = _make_cache(args)
+    try:
+        markdown = render_report_from_cache(profile, cache)
+    except RuntimeError as exc:
+        log(f"error: {exc}")
+        return 1
+    _write_report(markdown, args.report, log)
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace, log) -> int:
+    profile = _resolve_profile(args)
+    cache = ArtifactCache(args.artifacts)
+    dag = build_pipeline(profile)
+    log(f"profile {profile.name} — {len(dag)} stages (artifacts under {args.artifacts})")
+    log(f"{'stage':<28} {'status':<8} key")
+    for stage, key, cached in dag.plan(cache):
+        status = "cached" if cached else "missing"
+        log(f"{stage.name:<28} {status:<8} {key[:16]}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, log=print) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args, log)
+        if args.command == "report":
+            return _cmd_report(args, log)
+        if args.command == "list":
+            return _cmd_list(args, log)
+    except KeyboardInterrupt:
+        log("interrupted — artifacts and training checkpoints are preserved; "
+            "re-run the same command to resume")
+        return 130
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

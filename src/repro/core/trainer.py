@@ -5,17 +5,37 @@ optional validation split and loss history, mirroring the paper's setup of
 Adam with initial learning rate 0.01.  It intentionally knows nothing about
 the model internals beyond "forward(batch) returns an object with a ``total``
 (or plain Tensor) loss", so the same trainer drives the baselines.
+
+Checkpoint / resume
+-------------------
+``fit(..., checkpoint_path=...)`` writes an atomic training checkpoint at
+epoch boundaries (parameters, Adam moments + step count, loss history and the
+state of *every* random stream feeding the run — the trainer's shuffle rng
+and any ``_rng`` owned by a submodule, e.g. the VAE reparameterisation
+streams).  When the path already holds a checkpoint, ``fit`` restores it and
+continues from the recorded epoch; because the RNG streams resume mid-stream,
+the continuation is bit-identical to an uninterrupted run
+(``tests/core/test_checkpoint_resume.py`` pins this).
 """
 
 from __future__ import annotations
 
+import zipfile
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Protocol, Union
 
 import numpy as np
 
 from repro.core.config import TrainingConfig
-from repro.nn import Adam, Module, Tensor, clip_grad_norm
+from repro.nn import (
+    Adam,
+    Module,
+    Tensor,
+    clip_grad_norm,
+    load_training_checkpoint,
+    save_training_checkpoint,
+)
 from repro.trajectory.dataset import EncodedBatch, TrajectoryDataset
 from repro.utils.logging import get_logger
 from repro.utils.rng import RandomState
@@ -81,18 +101,40 @@ class Trainer:
         dataset: TrajectoryDataset,
         validation: Optional[TrajectoryDataset] = None,
         epochs: Optional[int] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = 1,
+        resume: bool = True,
     ) -> TrainingHistory:
         """Train the model and return the loss history.
 
         If the trainer config specifies ``validation_fraction`` and no explicit
         validation set is given, the fraction is split off the training set.
+
+        Parameters
+        ----------
+        checkpoint_path:
+            When given, a full training checkpoint (parameters, optimiser
+            moments, RNG streams, history) is written there atomically every
+            ``checkpoint_every`` epochs and after the final epoch.
+        resume:
+            When True (default) and ``checkpoint_path`` already exists, the
+            checkpoint is restored and training continues from the recorded
+            epoch — bit-identical to a run that was never interrupted,
+            provided the trainer was constructed the same way (same model
+            init, seed and config) as the interrupted one.
         """
         config = self.config
         epochs = epochs if epochs is not None else config.epochs
         train_set, validation_set = self._split_validation(dataset, validation)
 
+        start_epoch = 0
+        if checkpoint_path is not None and resume:
+            start_epoch = self._try_resume(checkpoint_path)
+            if start_epoch:
+                logger.info("resumed from %s at epoch %d", checkpoint_path, start_epoch)
+
         stopwatch = Stopwatch()
-        for epoch in range(epochs):
+        for epoch in range(start_epoch, epochs):
             self.model.train()
             epoch_losses: List[float] = []
             with stopwatch.time("epoch"):
@@ -115,6 +157,11 @@ class Trainer:
                     else ""
                 )
                 logger.info("epoch %d/%d: train %.4f%s", epoch + 1, epochs, mean_loss, val)
+
+            if checkpoint_path is not None and (
+                (epoch + 1) % max(checkpoint_every, 1) == 0 or epoch + 1 == epochs
+            ):
+                self.save_checkpoint(checkpoint_path, epoch=epoch + 1)
         return self.history
 
     def train_one_epoch(self, dataset: TrajectoryDataset) -> float:
@@ -139,6 +186,86 @@ class Trainer:
             losses.append(loss.item())
         self.model.train()
         return float(np.mean(losses)) if losses else float("nan")
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / resume
+    # ------------------------------------------------------------------ #
+    def save_checkpoint(self, path: Union[str, Path], epoch: Optional[int] = None) -> Path:
+        """Write a full training checkpoint (atomic).
+
+        Captures the model parameters, the optimiser's state, the loss
+        history and a positional list of every RNG stream the run draws from
+        (see :meth:`_rng_sources`).  ``epoch`` defaults to the number of
+        epochs recorded in the history.
+        """
+        metadata = {
+            "epoch": int(epoch if epoch is not None else self.history.num_epochs),
+            "history": self.history.as_dict(),
+        }
+        return save_training_checkpoint(
+            path,
+            self.model,
+            optimizer=self.optimizer,
+            rng_states=[source.get_state() for source in self._rng_sources()],
+            metadata=metadata,
+        )
+
+    def load_checkpoint(self, path: Union[str, Path]) -> int:
+        """Restore a checkpoint in place; returns the epoch to resume from.
+
+        Validation (optimiser type, RNG stream count, parameter names/shapes)
+        happens before any state is touched, so a mismatching checkpoint
+        raises and leaves the trainer exactly as constructed.
+        """
+        sources = self._rng_sources()
+        metadata, rng_states = load_training_checkpoint(
+            path, self.model, self.optimizer, expected_rng_streams=len(sources)
+        )
+        if rng_states is not None:
+            for source, state in zip(sources, rng_states):
+                source.set_state(state)
+        history = metadata.get("history")
+        if history:
+            self.history = TrainingHistory(**history)
+        return int(metadata.get("epoch", 0))
+
+    def _rng_sources(self) -> List[RandomState]:
+        """Every distinct random stream the training run draws from.
+
+        Position 0 is the trainer's own shuffle rng; the rest are the
+        ``_rng`` attributes of the model's submodules (VAE reparameterisation
+        streams), deduplicated by identity in deterministic module order.
+        Detector adapters share one stream between trainer and model, so the
+        common case is a single entry.
+        """
+        sources: List[RandomState] = [self.rng]
+        seen = {id(self.rng)}
+        for module in self.model.modules():
+            candidate = getattr(module, "_rng", None)
+            if isinstance(candidate, RandomState) and id(candidate) not in seen:
+                seen.add(id(candidate))
+                sources.append(candidate)
+        return sources
+
+    def _try_resume(self, path: Union[str, Path]) -> int:
+        """Restore ``path`` if it exists and is readable; returns the epoch."""
+        path = Path(path)
+        if path.suffix != ".npz":
+            candidate = path.with_suffix(path.suffix + ".npz")
+            path = candidate if candidate.exists() else path
+        if not path.exists():
+            return 0
+        try:
+            return self.load_checkpoint(path)
+        except (zipfile.BadZipFile, EOFError, OSError, ValueError, KeyError) as exc:
+            # BadZipFile/EOFError/OSError: truncated or unreadable file;
+            # ValueError: not an .npz archive, stale shapes or wrong
+            # optimiser/RNG layout; KeyError: missing optimizer state or
+            # renamed parameters.  All mean "cannot resume from this" —
+            # load_checkpoint validates before mutating, so the trainer is
+            # untouched and training restarts from scratch.
+            logger.warning("ignoring unusable checkpoint %s (%s)", path, exc)
+            return 0
 
     # ------------------------------------------------------------------ #
     def _step(self, batch: EncodedBatch) -> float:

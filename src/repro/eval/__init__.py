@@ -18,6 +18,7 @@ from repro.eval.experiments import (
     SweepResult,
     ScoreBreakdownComparison,
     EfficiencyResult,
+    evaluate_fitted,
     run_id_evaluation,
     run_ood_evaluation,
     run_ablation,
@@ -33,6 +34,10 @@ from repro.eval.reporting import (
     format_sweep,
     format_efficiency,
     format_improvement_summary,
+    format_results_table_markdown,
+    format_sweep_markdown,
+    format_efficiency_markdown,
+    format_breakdown_markdown,
 )
 
 __all__ = [
@@ -49,6 +54,7 @@ __all__ = [
     "SweepResult",
     "ScoreBreakdownComparison",
     "EfficiencyResult",
+    "evaluate_fitted",
     "run_id_evaluation",
     "run_ood_evaluation",
     "run_ablation",
@@ -62,4 +68,8 @@ __all__ = [
     "format_sweep",
     "format_efficiency",
     "format_improvement_summary",
+    "format_results_table_markdown",
+    "format_sweep_markdown",
+    "format_efficiency_markdown",
+    "format_breakdown_markdown",
 ]

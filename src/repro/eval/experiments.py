@@ -50,6 +50,7 @@ __all__ = [
     "SweepResult",
     "ScoreBreakdownComparison",
     "EfficiencyResult",
+    "evaluate_fitted",
     "run_id_evaluation",
     "run_ood_evaluation",
     "run_ablation",
@@ -100,6 +101,10 @@ class ExperimentTable:
             raise KeyError(f"no results for dataset {dataset!r}")
         return max(candidates, key=lambda r: getattr(r, metric)).detector
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (used by the orchestrator's report data)."""
+        return {"name": self.name, "results": [r.as_dict() for r in self.results]}
+
 
 @dataclass
 class SweepResult:
@@ -119,6 +124,15 @@ class SweepResult:
 
     def curve(self, detector: str, metric: str = "roc_auc") -> List[float]:
         return list(self.series[detector][metric])
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (used by the orchestrator's report data)."""
+        return {
+            "name": self.name,
+            "parameter_name": self.parameter_name,
+            "parameter_values": list(self.parameter_values),
+            "series": {d: {m: list(v) for m, v in s.items()} for d, s in self.series.items()},
+        }
 
 
 @dataclass
@@ -149,10 +163,39 @@ class EfficiencyResult:
             self.parameter_values.append(parameter_value)
         self.seconds.setdefault(series, []).append(float(value_seconds))
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (used by the orchestrator's report data)."""
+        return {
+            "name": self.name,
+            "parameter_name": self.parameter_name,
+            "parameter_values": list(self.parameter_values),
+            "seconds": {series: list(values) for series, values in self.seconds.items()},
+        }
+
 
 # --------------------------------------------------------------------------- #
 # Tables I and II
 # --------------------------------------------------------------------------- #
+def evaluate_fitted(
+    detectors: Sequence[TrajectoryAnomalyDetector],
+    test_sets: Sequence[TrajectoryDataset],
+    table_name: str,
+) -> ExperimentTable:
+    """Score already-fitted detectors on a list of test combinations.
+
+    This is the stage-API entry point used by the ``python -m repro``
+    orchestrator: training happens once per detector in its own cached
+    ``train/<detector>`` stage, and each evaluation stage consumes the
+    fitted detectors — so the same trained model backs Table I, Table II and
+    every figure sweep without refitting.
+    """
+    table = ExperimentTable(name=table_name)
+    for detector in detectors:
+        for test_set in test_sets:
+            table.add(evaluate_detector(detector, test_set))
+    return table
+
+
 def _run_table(
     data: BenchmarkData,
     detectors: Sequence[TrajectoryAnomalyDetector],

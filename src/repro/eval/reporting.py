@@ -1,9 +1,12 @@
-"""Plain-text reporting of experiment results.
+"""Plain-text and Markdown reporting of experiment results.
 
 The benchmark harness prints, for every table and figure of the paper, rows in
 the same layout the paper uses so that EXPERIMENTS.md can record
-paper-vs-measured side by side.  Everything here is pure formatting — no
-computation — and returns strings so tests can assert on structure.
+paper-vs-measured side by side.  The ``*_markdown`` variants render the same
+structures as GitHub-flavoured Markdown tables — they are what the
+``render`` stage of ``python -m repro run`` assembles into ``docs/REPORT.md``.
+Everything here is pure formatting — no computation — and returns strings so
+tests can assert on structure.
 """
 
 from __future__ import annotations
@@ -11,13 +14,22 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.eval.evaluation import EvaluationResult
-from repro.eval.experiments import EfficiencyResult, ExperimentTable, SweepResult
+from repro.eval.experiments import (
+    EfficiencyResult,
+    ExperimentTable,
+    ScoreBreakdownComparison,
+    SweepResult,
+)
 
 __all__ = [
     "format_results_table",
     "format_sweep",
     "format_efficiency",
     "format_improvement_summary",
+    "format_results_table_markdown",
+    "format_sweep_markdown",
+    "format_efficiency_markdown",
+    "format_breakdown_markdown",
 ]
 
 
@@ -89,6 +101,100 @@ def format_improvement_summary(
             f"({best_baseline.detector}) -> {improvement:+.1f}%"
         )
     return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
+# Markdown renderers (used by the generated docs/REPORT.md)
+# --------------------------------------------------------------------------- #
+def _markdown_table(rows: List[List[str]]) -> str:
+    """Render rows (first row = header) as a GitHub-flavoured Markdown table."""
+    header, *body = rows
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "| " + " | ".join("---" for _ in header) + " |",
+    ]
+    for row in body:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def format_results_table_markdown(
+    table: ExperimentTable, metric_names: Sequence[str] = ("roc_auc", "pr_auc")
+) -> str:
+    """Markdown rendering of an :class:`ExperimentTable` (Tables I–III).
+
+    One row per detector, one column per ``dataset × metric`` cell, matching
+    the layout of :func:`format_results_table`.
+    """
+    datasets: List[str] = []
+    for result in table.results:
+        if result.dataset not in datasets:
+            datasets.append(result.dataset)
+    rows: List[List[str]] = [
+        ["detector"] + [f"{d} {m}" for d in datasets for m in metric_names]
+    ]
+    for detector, results in table.by_detector().items():
+        by_dataset = {r.dataset: r for r in results}
+        cells = [detector]
+        for dataset in datasets:
+            result = by_dataset.get(dataset)
+            for metric in metric_names:
+                cells.append(_fmt(getattr(result, metric)) if result else "—")
+        rows.append(cells)
+    return _markdown_table(rows)
+
+
+def format_sweep_markdown(sweep: SweepResult, metric: str = "roc_auc") -> str:
+    """Markdown rendering of a :class:`SweepResult` (Figs. 5, 6, 8)."""
+    rows: List[List[str]] = [
+        [sweep.parameter_name] + [f"{value:g}" for value in sweep.parameter_values]
+    ]
+    for series, metrics in sweep.series.items():
+        values = metrics.get(metric, [])
+        rows.append([series] + [_fmt(v) for v in values])
+    return _markdown_table(rows)
+
+
+def format_efficiency_markdown(result: EfficiencyResult) -> str:
+    """Markdown rendering of an :class:`EfficiencyResult` (Fig. 7, seconds)."""
+    rows: List[List[str]] = [
+        [result.parameter_name] + [f"{value:g}" for value in result.parameter_values]
+    ]
+    for series, seconds in result.seconds.items():
+        rows.append([series] + [f"{value:.4f}s" for value in seconds])
+    return _markdown_table(rows)
+
+
+def format_breakdown_markdown(
+    breakdown: ScoreBreakdownComparison, max_rows: int = 12
+) -> str:
+    """Markdown rendering of a Fig. 4 per-segment score breakdown.
+
+    Shows up to ``max_rows`` segments of the chosen trajectory with the
+    baseline's per-segment score, CausalTAD's debiased score and the scaling
+    correction, followed by the two trajectory totals.
+    """
+    rows: List[List[str]] = [
+        ["segment", f"{breakdown.baseline_name} score", "CausalTAD debiased", "scaling term"]
+    ]
+    for segment, baseline, causal, scaling in list(
+        zip(
+            breakdown.segments,
+            breakdown.baseline_scores,
+            breakdown.causal_scores,
+            breakdown.scaling_scores,
+        )
+    )[:max_rows]:
+        rows.append([str(int(segment)), _fmt(baseline), _fmt(causal), _fmt(scaling)])
+    table = _markdown_table(rows)
+    shown = min(len(breakdown.segments), max_rows)
+    footer = (
+        f"\n\nTrajectory `{breakdown.trajectory_id}` — total "
+        f"{breakdown.baseline_name}: **{_fmt(breakdown.baseline_total)}**, total "
+        f"CausalTAD: **{_fmt(breakdown.causal_total)}** "
+        f"({shown} of {len(breakdown.segments)} segments shown)."
+    )
+    return table + footer
 
 
 def _align(rows: List[List[str]], title: Optional[str] = None) -> str:

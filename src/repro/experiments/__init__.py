@@ -1,0 +1,50 @@
+"""``repro.experiments`` — DAG-based experiment orchestration.
+
+The subsystem behind ``python -m repro``: it reproduces the paper's full
+evaluation (Tables I–III, Figures 4–8) as a directed acyclic graph of
+*stages* whose outputs are content-addressed artifacts:
+
+* :mod:`repro.experiments.stage` — the :class:`Stage` declaration (name,
+  dependencies, fingerprint-relevant config) and the :class:`StageContext`
+  handed to stage functions at execution time.
+* :mod:`repro.experiments.cache` — the on-disk artifact store under
+  ``artifacts/``: every stage output is keyed by a fingerprint of its config,
+  the library source code and its dependencies' keys, so re-runs skip
+  anything already computed and any code or config change transparently
+  invalidates exactly the affected subgraph.
+* :mod:`repro.experiments.dag` — the executor: topological scheduling,
+  parallel workers for independent branches (the detector × dataset grid),
+  and cache-mediated inputs so stages stay isolated.
+* :mod:`repro.experiments.profiles` — the ``smoke`` / ``quick`` / ``full``
+  scale presets.
+* :mod:`repro.experiments.pipeline` — the paper pipeline itself:
+  build-dataset → train (one stage per detector, resumable from
+  ``nn/serialization`` training checkpoints) → evaluate (one stage per table
+  / figure) → render (``docs/REPORT.md``).
+
+The CLI in :mod:`repro.cli` is a thin wrapper over these pieces.
+"""
+
+from repro.experiments.cache import ArtifactCache
+from repro.experiments.dag import ExperimentDAG, StageExecution, RunSummary
+from repro.experiments.fingerprint import code_fingerprint, config_fingerprint, stage_key
+from repro.experiments.pipeline import build_pipeline, render_report_from_cache
+from repro.experiments.profiles import ExperimentProfile, get_profile, PROFILES
+from repro.experiments.stage import Stage, StageContext
+
+__all__ = [
+    "ArtifactCache",
+    "ExperimentDAG",
+    "StageExecution",
+    "RunSummary",
+    "code_fingerprint",
+    "config_fingerprint",
+    "stage_key",
+    "build_pipeline",
+    "render_report_from_cache",
+    "ExperimentProfile",
+    "get_profile",
+    "PROFILES",
+    "Stage",
+    "StageContext",
+]

@@ -1,0 +1,115 @@
+"""Content-addressed artifact store for the experiment orchestrator.
+
+Layout (all under one root, ``artifacts/`` by default)::
+
+    artifacts/
+    ├── stages/<stage-name>/<key>.pkl        the pickled stage output
+    ├── stages/<stage-name>/<key>.json       sidecar metadata (config, deps,
+    │                                        elapsed seconds, created-at)
+    └── checkpoints/<stage-name>/<key>/      training checkpoints a stage may
+                                             write while executing (resumable
+                                             ``nn/serialization`` archives)
+
+Artifacts are written atomically (temp file + ``os.replace``), so a killed
+run never leaves a truncated pickle that a later run would trust.  Stage
+names may contain ``/`` (e.g. ``train/CausalTAD``); they map to
+subdirectories.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = ["ArtifactCache"]
+
+
+class ArtifactCache:
+    """Pickle-based content-addressed store under a root directory.
+
+    Parameters
+    ----------
+    root:
+        Directory that receives all artifacts.  Created on demand.  The
+        orchestrator refuses roots inside the installed package so that
+        ``repro run`` can never write into ``src/`` (see
+        :meth:`ensure_outside_package`).
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ #
+    # path helpers
+    # ------------------------------------------------------------------ #
+    def artifact_path(self, stage: str, key: str) -> Path:
+        return self.root / "stages" / stage / f"{key}.pkl"
+
+    def meta_path(self, stage: str, key: str) -> Path:
+        return self.root / "stages" / stage / f"{key}.json"
+
+    def checkpoint_dir(self, stage: str, key: str) -> Path:
+        """Directory for a stage's resumable training checkpoints.
+
+        Keyed by the stage fingerprint, so a config or code change never
+        resumes from a stale checkpoint.
+        """
+        return self.root / "checkpoints" / stage / key
+
+    def ensure_outside_package(self) -> None:
+        """Refuse cache roots that would write inside the installed package."""
+        import repro
+
+        package_root = Path(repro.__file__).resolve().parent
+        root = self.root.resolve()
+        if root == package_root or package_root in root.parents or root in package_root.parents:
+            raise ValueError(
+                f"artifact root {root} overlaps the repro package at {package_root}; "
+                "choose a directory outside src/"
+            )
+
+    # ------------------------------------------------------------------ #
+    # store / load
+    # ------------------------------------------------------------------ #
+    def has(self, stage: str, key: str) -> bool:
+        return self.artifact_path(stage, key).exists()
+
+    def store(self, stage: str, key: str, value: Any, meta: Optional[Dict[str, Any]] = None) -> Path:
+        """Atomically pickle ``value`` (and its metadata sidecar)."""
+        path = self.artifact_path(stage, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+        sidecar = dict(meta or {})
+        sidecar.setdefault("stage", stage)
+        sidecar.setdefault("key", key)
+        sidecar.setdefault("created_at", time.strftime("%Y-%m-%dT%H:%M:%S"))
+        sidecar["bytes"] = path.stat().st_size
+        meta_tmp = self.meta_path(stage, key).with_suffix(".json.tmp")
+        with open(meta_tmp, "w", encoding="utf-8") as handle:
+            json.dump(sidecar, handle, indent=2, sort_keys=True, default=str)
+        os.replace(meta_tmp, self.meta_path(stage, key))
+        return path
+
+    def load(self, stage: str, key: str) -> Any:
+        """Unpickle a stored artifact (a fresh object graph per call).
+
+        Every consumer gets its own copy, so stages running in parallel
+        never share mutable state (detector RNG streams in particular).
+        """
+        with open(self.artifact_path(stage, key), "rb") as handle:
+            return pickle.load(handle)
+
+    def load_meta(self, stage: str, key: str) -> Dict[str, Any]:
+        path = self.meta_path(stage, key)
+        if not path.exists():
+            return {}
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)

@@ -1,0 +1,280 @@
+"""DAG scheduling and execution for experiment stages.
+
+The executor:
+
+1. validates the graph (unique names, known dependencies, no cycles),
+2. computes every stage's content-addressed key in topological order
+   (keys fold in dependency keys, so this needs no artifact access),
+3. marks stages whose artifact already exists as **cached** — they are
+   never loaded, let alone executed; consumers read them lazily from the
+   cache,
+4. executes the remaining stages with a pool of parallel workers,
+   scheduling each stage the moment its last dependency completes —
+   independent branches (e.g. the per-detector training stages and the
+   per-table evaluation stages) run concurrently.
+
+Stages exchange data exclusively through the cache: an executed stage is
+pickled before any dependent starts, and every dependent unpickles its own
+copy.  That keeps parallel stages isolated (no shared RNG streams or model
+state) and makes a warm re-run behave exactly like a cold one.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.cache import ArtifactCache
+from repro.experiments.fingerprint import stage_key
+from repro.experiments.stage import Stage, StageContext
+
+__all__ = ["ExperimentDAG", "StageExecution", "RunSummary"]
+
+
+@dataclass
+class StageExecution:
+    """Outcome of one stage in one run."""
+
+    name: str
+    key: str
+    status: str  # "cached" | "ran" | "failed" | "skipped"
+    elapsed_seconds: float = 0.0
+    error: Optional[str] = None
+
+
+@dataclass
+class RunSummary:
+    """Everything ``python -m repro run`` reports about one invocation."""
+
+    executions: List[StageExecution] = field(default_factory=list)
+    total_seconds: float = 0.0
+
+    @property
+    def num_cached(self) -> int:
+        return sum(1 for e in self.executions if e.status == "cached")
+
+    @property
+    def num_ran(self) -> int:
+        return sum(1 for e in self.executions if e.status == "ran")
+
+    def execution(self, name: str) -> StageExecution:
+        for entry in self.executions:
+            if entry.name == name:
+                return entry
+        raise KeyError(f"no execution record for stage {name!r}")
+
+    def format_summary(self) -> str:
+        lines = [f"{'stage':<28} {'status':<8} {'seconds':>8}"]
+        for entry in self.executions:
+            lines.append(f"{entry.name:<28} {entry.status:<8} {entry.elapsed_seconds:>8.2f}")
+        lines.append(
+            f"total {self.total_seconds:.2f}s — {self.num_ran} executed, "
+            f"{self.num_cached} cache hits"
+        )
+        return "\n".join(lines)
+
+
+class ExperimentDAG:
+    """A named collection of :class:`Stage` objects with dependency edges."""
+
+    def __init__(self) -> None:
+        self._stages: "Dict[str, Stage]" = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add(self, stage: Stage) -> Stage:
+        """Register a stage; dependencies must already be registered."""
+        if stage.name in self._stages:
+            raise ValueError(f"duplicate stage name {stage.name!r}")
+        for dep in stage.deps:
+            if dep not in self._stages:
+                raise ValueError(f"stage {stage.name!r} depends on unknown stage {dep!r}")
+        self._stages[stage.name] = stage
+        return stage
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stages
+
+    def __len__(self) -> int:
+        return len(self._stages)
+
+    @property
+    def stages(self) -> List[Stage]:
+        return list(self._stages.values())
+
+    def stage(self, name: str) -> Stage:
+        return self._stages[name]
+
+    def topological_order(self) -> List[Stage]:
+        """Stages in dependency order (insertion order among ready stages)."""
+        remaining_deps = {name: set(stage.deps) for name, stage in self._stages.items()}
+        order: List[Stage] = []
+        ready = [name for name, deps in remaining_deps.items() if not deps]
+        while ready:
+            name = ready.pop(0)
+            order.append(self._stages[name])
+            for other, deps in remaining_deps.items():
+                if name in deps:
+                    deps.remove(name)
+                    if not deps:
+                        ready.append(other)
+        if len(order) != len(self._stages):
+            unresolved = sorted(set(self._stages) - {s.name for s in order})
+            raise ValueError(f"dependency cycle involving stages {unresolved}")
+        return order
+
+    # ------------------------------------------------------------------ #
+    # planning
+    # ------------------------------------------------------------------ #
+    def compute_keys(self) -> Dict[str, str]:
+        """Content-addressed key per stage (config + code + dependency keys)."""
+        keys: Dict[str, str] = {}
+        for stage in self.topological_order():
+            keys[stage.name] = stage_key(
+                stage.name, stage.config, [keys[d] for d in stage.deps]
+            )
+        return keys
+
+    def plan(self, cache: ArtifactCache, force: bool = False) -> List[Tuple[Stage, str, bool]]:
+        """``(stage, key, cached)`` in topological order.
+
+        ``cached`` is True when the stage's artifact already exists (always
+        False under ``force``).
+        """
+        keys = self.compute_keys()
+        return [
+            (stage, keys[stage.name], (not force) and cache.has(stage.name, keys[stage.name]))
+            for stage in self.topological_order()
+        ]
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        cache: ArtifactCache,
+        jobs: int = 1,
+        force: bool = False,
+        log: Callable[[str], None] = print,
+    ) -> RunSummary:
+        """Execute the DAG, skipping cached stages.
+
+        Parameters
+        ----------
+        cache:
+            Artifact store; also provides per-stage checkpoint directories.
+        jobs:
+            Worker threads.  Stages are scheduled as soon as their last
+            dependency completes, so independent branches overlap.
+        force:
+            Re-execute every stage even when its artifact exists.
+        log:
+            Progress sink (one line per stage event).
+
+        Callers that must *not* trigger computation (``repro report``) check
+        :meth:`plan` first — see
+        :func:`repro.experiments.pipeline.render_report_from_cache`.
+        """
+        cache.ensure_outside_package()
+        started = time.perf_counter()
+        plan = self.plan(cache, force=force)
+        keys = {stage.name: key for stage, key, _ in plan}
+        executions: Dict[str, StageExecution] = {}
+
+        to_run = [stage for stage, _, cached in plan if not cached]
+        for stage, key, cached in plan:
+            if cached:
+                executions[stage.name] = StageExecution(stage.name, key, "cached")
+                log(f"[{stage.name}] cached ({key[:12]})")
+
+        remaining = {stage.name: set(d for d in stage.deps if d in {s.name for s in to_run})
+                     for stage in to_run}
+        ready = [stage for stage in to_run if not remaining[stage.name]]
+        dependents: Dict[str, List[str]] = {stage.name: [] for stage in to_run}
+        for stage in to_run:
+            for dep in remaining[stage.name]:
+                dependents[dep].append(stage.name)
+        by_name = {stage.name: stage for stage in to_run}
+
+        failure: Optional[BaseException] = None
+
+        def record(stage: Stage, future) -> None:
+            """Fold one finished future into the execution table."""
+            nonlocal failure
+            try:
+                executions[stage.name] = future.result()
+            except BaseException as exc:  # noqa: BLE001 — recorded, re-raised below
+                executions[stage.name] = StageExecution(
+                    stage.name, keys[stage.name], "failed",
+                    error="".join(traceback.format_exception_only(type(exc), exc)).strip(),
+                )
+                log(f"[{stage.name}] FAILED: {executions[stage.name].error}")
+                if failure is None:
+                    failure = exc
+                return
+            log(f"[{stage.name}] done in {executions[stage.name].elapsed_seconds:.2f}s")
+
+        with ThreadPoolExecutor(max_workers=max(1, jobs)) as pool:
+            futures = {}
+            while (ready or futures) and failure is None:
+                while ready:
+                    stage = ready.pop(0)
+                    log(f"[{stage.name}] running ...")
+                    futures[pool.submit(self._execute, stage, keys, cache, log)] = stage
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    stage = futures.pop(future)
+                    record(stage, future)
+                    if executions[stage.name].status != "ran":
+                        continue
+                    for dependent in dependents.get(stage.name, ()):
+                        remaining[dependent].discard(stage.name)
+                        if not remaining[dependent]:
+                            ready.append(by_name[dependent])
+            # On failure, in-flight stages still run to completion (the pool
+            # shutdown below waits for them) and store their artifacts; fold
+            # their real outcomes — including further failures — into the
+            # summary instead of mislabelling them as skipped.
+            for future, stage in list(futures.items()):
+                record(stage, future)
+
+        for stage in to_run:
+            if stage.name not in executions:
+                executions[stage.name] = StageExecution(stage.name, keys[stage.name], "skipped")
+        summary = RunSummary(
+            executions=[executions[stage.name] for stage, _, _ in plan],
+            total_seconds=time.perf_counter() - started,
+        )
+        if failure is not None:
+            raise RuntimeError(
+                f"stage failed: {next(e.name for e in summary.executions if e.status == 'failed')}"
+            ) from failure
+        return summary
+
+    def _execute(
+        self,
+        stage: Stage,
+        keys: Dict[str, str],
+        cache: ArtifactCache,
+        log: Callable[[str], None],
+    ) -> StageExecution:
+        dep_keys = {dep: keys[dep] for dep in stage.deps}
+        context = StageContext(stage, keys[stage.name], cache, dep_keys, log)
+        begin = time.perf_counter()
+        value = stage.func(context)
+        elapsed = time.perf_counter() - begin
+        cache.store(
+            stage.name,
+            keys[stage.name],
+            value,
+            meta={
+                "deps": dep_keys,
+                "elapsed_seconds": elapsed,
+                "config": repr(stage.config),
+            },
+        )
+        return StageExecution(stage.name, keys[stage.name], "ran", elapsed_seconds=elapsed)

@@ -1,0 +1,91 @@
+"""Content fingerprints for the artifact cache.
+
+A stage's cache key must change whenever anything that could change its
+output changes: its own configuration, the configuration and outputs of the
+stages it depends on, or the library source code.  Three ingredients cover
+this:
+
+* :func:`config_fingerprint` — canonical-JSON hash of a stage's config
+  (dataclasses are converted with :func:`dataclasses.asdict`).
+* :func:`code_fingerprint` — hash of every ``*.py`` file under the installed
+  ``repro`` package, in sorted relative-path order.  Deliberately coarse:
+  *any* library change invalidates the whole cache, which errs on the side
+  of never serving a stale artifact.
+* :func:`stage_key` — combines the stage name, config fingerprint, code
+  fingerprint and the keys of its dependencies into the final
+  content-addressed key.  Because keys fold in dependency keys recursively,
+  invalidation propagates down the DAG for free.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+__all__ = ["code_fingerprint", "config_fingerprint", "stage_key"]
+
+_CODE_FINGERPRINT: Optional[str] = None
+
+
+def _jsonable(value: Any) -> Any:
+    """Convert configs (dataclasses, tuples, numpy scalars) to plain JSON."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in dataclasses.asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            return value.item()  # numpy scalar
+        except (TypeError, ValueError):
+            pass
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def config_fingerprint(config: Any) -> str:
+    """Hex digest of a config's canonical JSON representation."""
+    payload = json.dumps(_jsonable(config), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def code_fingerprint(refresh: bool = False) -> str:
+    """Hex digest over the full ``repro`` package source (cached per process).
+
+    Hashes the bytes of every ``*.py`` file under the package root in sorted
+    relative-path order, so the digest is independent of filesystem layout,
+    timestamps and import order.
+    """
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is not None and not refresh:
+        return _CODE_FINGERPRINT
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    _CODE_FINGERPRINT = digest.hexdigest()
+    return _CODE_FINGERPRINT
+
+
+def stage_key(name: str, config: Any, dep_keys: Sequence[str]) -> str:
+    """The content-addressed cache key of one stage execution."""
+    digest = hashlib.sha256()
+    digest.update(name.encode("utf-8"))
+    digest.update(b"\0")
+    digest.update(config_fingerprint(config).encode("utf-8"))
+    digest.update(b"\0")
+    digest.update(code_fingerprint().encode("utf-8"))
+    for dep_key in dep_keys:
+        digest.update(b"\0")
+        digest.update(dep_key.encode("utf-8"))
+    return digest.hexdigest()

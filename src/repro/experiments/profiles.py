@@ -1,0 +1,171 @@
+"""Scale presets for the experiment pipeline.
+
+Three profiles trade fidelity against wall-clock time:
+
+* ``smoke`` — minutes-scale CI profile: a tiny city, five detectors
+  (iBOAT, SAE, VSAE, GM-VSAE, CausalTAD) plus the two ablations, a handful
+  of epochs and coarse sweep grids.  This is what
+  ``python -m repro run --smoke`` and the CI ``docs`` job execute.
+* ``quick`` — the laptop profile matching the quick benchmark harness
+  scale (`REPRO_BENCH_SCALE=quick`): CPU minutes.
+* ``full`` — the paper-shaped line-up and schedule: tens of CPU minutes.
+
+Every field of :class:`ExperimentProfile` is folded into the stage cache
+keys, so switching profiles (or tweaking one) can never serve artifacts
+computed under another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from repro.baselines.base import DetectorConfig
+from repro.core.config import TrainingConfig
+from repro.trajectory.generator import SimulatorConfig
+from repro.trajectory.splits import BenchmarkConfig
+
+__all__ = ["ExperimentProfile", "PROFILES", "get_profile"]
+
+#: Detectors whose Table III ablation rows the pipeline always trains.
+ABLATION_DETECTORS: Tuple[str, ...] = ("CausalTAD", "TG-VAE", "RP-VAE")
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """Everything that scales the pipeline, in one fingerprintable object."""
+
+    name: str
+    seed: int = 7
+    # -- dataset ------------------------------------------------------- #
+    num_sd_pairs: int = 12
+    trajectories_per_pair: int = 12
+    num_ood_trajectories: int = 80
+    min_length: int = 5
+    max_length: int = 48
+    # -- model / training ---------------------------------------------- #
+    embedding_dim: int = 24
+    hidden_dim: int = 24
+    latent_dim: int = 12
+    epochs: int = 16
+    batch_size: int = 16
+    learning_rate: float = 0.02
+    checkpoint_every: int = 1
+    # -- detector line-up ----------------------------------------------- #
+    detectors: Tuple[str, ...] = ("iBOAT", "SAE", "VSAE", "GM-VSAE", "CausalTAD")
+    sweep_detectors: Tuple[str, ...] = ("VSAE", "GM-VSAE", "CausalTAD")
+    scalability_detectors: Tuple[str, ...] = ("VSAE", "CausalTAD")
+    # -- sweep grids ----------------------------------------------------- #
+    alphas: Tuple[float, ...] = (0.0, 0.5, 1.0)
+    observed_ratios: Tuple[float, ...] = (0.4, 0.7, 1.0)
+    lambdas: Tuple[float, ...] = (0.0, 0.05, 0.1, 0.5)
+    train_fractions: Tuple[float, ...] = (0.5, 1.0)
+    fig7_max_trajectories: int = 40
+    breakdown_rows: int = 12
+
+    # ------------------------------------------------------------------ #
+    # derived configs
+    # ------------------------------------------------------------------ #
+    def benchmark_config(self) -> BenchmarkConfig:
+        """Dataset-scale parameters for :func:`build_benchmark_data`."""
+        return BenchmarkConfig(
+            num_sd_pairs=self.num_sd_pairs,
+            trajectories_per_pair=self.trajectories_per_pair,
+            num_ood_trajectories=self.num_ood_trajectories,
+            simulator=SimulatorConfig(min_length=self.min_length, max_length=self.max_length),
+        )
+
+    def training_config(self) -> TrainingConfig:
+        return TrainingConfig(
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            learning_rate=self.learning_rate,
+            seed=self.seed,
+        )
+
+    def detector_config(self, num_segments: int) -> DetectorConfig:
+        return DetectorConfig(
+            num_segments=num_segments,
+            embedding_dim=self.embedding_dim,
+            hidden_dim=self.hidden_dim,
+            latent_dim=self.latent_dim,
+            training=self.training_config(),
+            seed=self.seed,
+        )
+
+    def all_trained_detectors(self) -> Tuple[str, ...]:
+        """Every detector needing a ``train/`` stage (line-up ∪ ablations)."""
+        names = list(self.detectors)
+        for extra in ABLATION_DETECTORS + tuple(self.sweep_detectors):
+            if extra not in names:
+                names.append(extra)
+        return tuple(names)
+
+
+PROFILES: Dict[str, ExperimentProfile] = {
+    "smoke": ExperimentProfile(name="smoke"),
+    "quick": ExperimentProfile(
+        name="quick",
+        num_sd_pairs=25,
+        trajectories_per_pair=16,
+        num_ood_trajectories=200,
+        min_length=5,
+        max_length=60,
+        embedding_dim=48,
+        hidden_dim=48,
+        latent_dim=24,
+        epochs=25,
+        batch_size=32,
+        learning_rate=0.01,
+        checkpoint_every=5,
+        detectors=("iBOAT", "SAE", "VSAE", "GM-VSAE", "DeepTEA", "CausalTAD"),
+        alphas=(0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+        observed_ratios=(0.2, 0.4, 0.6, 0.8, 1.0),
+        lambdas=(0.0, 0.01, 0.05, 0.1, 0.5, 1.0),
+        train_fractions=(0.2, 0.4, 0.6, 0.8, 1.0),
+        fig7_max_trajectories=100,
+    ),
+    "full": ExperimentProfile(
+        name="full",
+        num_sd_pairs=40,
+        trajectories_per_pair=20,
+        num_ood_trajectories=300,
+        min_length=5,
+        max_length=60,
+        embedding_dim=48,
+        hidden_dim=48,
+        latent_dim=24,
+        epochs=40,
+        batch_size=32,
+        learning_rate=0.01,
+        checkpoint_every=5,
+        detectors=(
+            "iBOAT",
+            "SAE",
+            "VSAE",
+            "beta-VAE",
+            "FactorVAE",
+            "GM-VSAE",
+            "DeepTEA",
+            "CausalTAD",
+        ),
+        alphas=(0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+        observed_ratios=(0.2, 0.4, 0.6, 0.8, 1.0),
+        lambdas=(0.0, 0.01, 0.05, 0.1, 0.5, 1.0),
+        train_fractions=(0.2, 0.4, 0.6, 0.8, 1.0),
+        fig7_max_trajectories=100,
+    ),
+}
+
+
+def get_profile(name: str, seed: int = None) -> ExperimentProfile:
+    """Look up a profile by name, optionally overriding its seed."""
+    try:
+        profile = PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown profile {name!r}; choose from {sorted(PROFILES)}"
+        ) from None
+    if seed is not None and seed != profile.seed:
+        profile = replace(profile, seed=seed)
+    return profile

@@ -1,0 +1,84 @@
+"""Stage declaration and execution context.
+
+A :class:`Stage` is a named unit of work with typed dependencies and a
+fingerprint-relevant ``config``.  Its ``func`` receives a
+:class:`StageContext` and returns the stage's output, which the executor
+pickles into the :class:`~repro.experiments.cache.ArtifactCache`.
+
+Stage functions must be *pure up to their context*: everything that affects
+the output has to flow in through ``config`` or the declared inputs, because
+those are exactly what the cache key covers.  Side-channel state (module
+globals, wall-clock, ambient RNG) would silently break caching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Tuple
+
+__all__ = ["Stage", "StageContext"]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One node of the experiment DAG.
+
+    Attributes
+    ----------
+    name:
+        Unique stage id; ``/`` separates logical groups (``train/CausalTAD``,
+        ``eval/table1``) and maps to cache subdirectories.
+    func:
+        ``func(ctx) -> artifact``.  The return value must be picklable.
+    deps:
+        Names of the stages whose outputs this stage consumes.  Available
+        inside ``func`` through :meth:`StageContext.input`.
+    config:
+        JSON-serialisable (or dataclass) configuration folded into the cache
+        key.  Everything the stage's behaviour depends on belongs here.
+    """
+
+    name: str
+    func: Callable[["StageContext"], Any]
+    deps: Tuple[str, ...] = ()
+    config: Any = None
+
+
+class StageContext:
+    """What a stage function sees while executing.
+
+    Provides lazy, isolated access to dependency artifacts (each stage gets
+    its own unpickled copy — see :meth:`ArtifactCache.load`), the stage's
+    resumable checkpoint directory and a progress logger.
+    """
+
+    def __init__(self, stage: Stage, key: str, cache, dep_keys: Dict[str, str], log) -> None:
+        self.stage = stage
+        self.key = key
+        self.cache = cache
+        self._dep_keys = dep_keys
+        self._loaded: Dict[str, Any] = {}
+        self._log = log
+
+    @property
+    def config(self) -> Any:
+        return self.stage.config
+
+    def input(self, name: str) -> Any:
+        """The output of dependency ``name`` (loaded once per context)."""
+        if name not in self._dep_keys:
+            raise KeyError(f"stage {self.stage.name!r} does not depend on {name!r}")
+        if name not in self._loaded:
+            self._loaded[name] = self.cache.load(name, self._dep_keys[name])
+        return self._loaded[name]
+
+    def checkpoint_dir(self) -> Path:
+        """Fingerprint-keyed directory for resumable training checkpoints."""
+        path = self.cache.checkpoint_dir(self.stage.name, self.key)
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def log(self, message: str) -> None:
+        """Emit a progress line attributed to this stage."""
+        self._log(f"[{self.stage.name}] {message}")

@@ -52,7 +52,14 @@ from repro.nn.losses import (
     mse_loss,
 )
 from repro.nn.optim import Optimizer, SGD, Adam, clip_grad_norm
-from repro.nn.serialization import save_checkpoint, load_checkpoint, save_state_dict, load_state_dict
+from repro.nn.serialization import (
+    save_checkpoint,
+    load_checkpoint,
+    save_state_dict,
+    load_state_dict,
+    save_training_checkpoint,
+    load_training_checkpoint,
+)
 
 __all__ = [
     "Tensor",
@@ -102,6 +109,8 @@ __all__ = [
     "clip_grad_norm",
     "save_checkpoint",
     "load_checkpoint",
+    "save_training_checkpoint",
+    "load_training_checkpoint",
     "save_state_dict",
     "load_state_dict",
 ]

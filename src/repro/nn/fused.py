@@ -410,6 +410,15 @@ def lstm_sequence(
 def fused_gaussian_kl(mu: Tensor, logvar: Tensor) -> Tensor:
     """``KL(N(mu, diag(exp(logvar))) || N(0, I))`` summed over the last axis.
 
+    Parameters
+    ----------
+    mu / logvar:
+        Posterior mean and log-variance, shape ``(..., latent)``.
+
+    Returns
+    -------
+    Tensor of shape ``(...,)`` — the per-row KL divergence.
+
     One node for ``0.5 * Σ (exp(logvar) + mu² - 1 - logvar)`` instead of the
     six-node elementwise chain; the closed-form backward is
     ``dmu = g·mu`` and ``dlogvar = 0.5·g·(exp(logvar) - 1)``.
@@ -428,8 +437,19 @@ def fused_gaussian_kl(mu: Tensor, logvar: Tensor) -> Tensor:
 def fused_reparameterize(mu: Tensor, logvar: Tensor, eps: np.ndarray) -> Tensor:
     """Reparameterised sample ``mu + exp(0.5 * logvar) * eps`` as one node.
 
-    ``eps`` is a pre-drawn standard-normal array (no gradient);
-    ``dmu = g`` and ``dlogvar = 0.5 · g · eps · std``.
+    Parameters
+    ----------
+    mu / logvar:
+        Posterior mean and log-variance, shape ``(..., latent)``.
+    eps:
+        Pre-drawn standard-normal noise of the same shape (a plain ndarray;
+        no gradient flows into it).
+
+    Returns
+    -------
+    Tensor of shape ``(..., latent)`` — the sampled latent, differentiable
+    w.r.t. ``mu`` and ``logvar`` (``dmu = g``,
+    ``dlogvar = 0.5 · g · eps · std``).
     """
     mu, logvar = as_tensor(mu), as_tensor(logvar)
     eps = np.asarray(eps)

@@ -7,7 +7,7 @@ which stabilises the RNN trajectory decoder on long sequences.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -52,6 +52,45 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------ #
+    # state round-trip (checkpoint / resume)
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot of the optimiser's internal state.
+
+        Returns a dict with three keys:
+
+        * ``"type"`` — the optimiser class name (checked on load),
+        * ``"arrays"`` — per-parameter state arrays keyed by
+          ``"<parameter index>.<field>"`` (the index refers to the position in
+          ``self.parameters``, which is deterministic for a given model),
+        * ``"extra"`` — JSON-serialisable scalars (e.g. Adam's step count).
+
+        Parameters that have never received a gradient carry no state and are
+        simply absent from ``"arrays"``.
+        """
+        return {"type": type(self).__name__, "arrays": {}, "extra": {}}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`.
+
+        The optimiser must manage the same parameters (same count, shapes and
+        order) as the one that produced the snapshot.
+        """
+        if state.get("type") != type(self).__name__:
+            raise ValueError(
+                f"optimizer state is for {state.get('type')!r}, not {type(self).__name__!r}"
+            )
+
+    def _param_at(self, key: str) -> "tuple[Parameter, str]":
+        """Resolve an ``"<index>.<field>"`` state key to (parameter, field)."""
+        index, field = key.split(".", 1)
+        try:
+            param = self.parameters[int(index)]
+        except (IndexError, ValueError) as exc:
+            raise ValueError(f"optimizer state key {key!r} does not match the parameters") from exc
+        return param, field
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -84,6 +123,34 @@ class SGD(Optimizer):
                 self._velocity[id(p)] = v
                 grad = v
             p.data = p.data - self.lr * grad
+
+    def state_dict(self) -> Dict[str, "np.ndarray"]:
+        state = super().state_dict()
+        for index, p in enumerate(self.parameters):
+            velocity = self._velocity.get(id(p))
+            if velocity is not None:
+                state["arrays"][f"{index}.velocity"] = velocity.copy()
+        return state
+
+    def load_state_dict(self, state) -> None:
+        super().load_state_dict(state)
+        # Validate every entry before touching any state, so a malformed
+        # snapshot raises with the optimiser unchanged.
+        resolved = []
+        for key, value in state["arrays"].items():
+            param, field = self._param_at(key)
+            if field != "velocity":
+                raise ValueError(f"unknown SGD state field {field!r}")
+            array = np.asarray(value)
+            if array.shape != param.data.shape:
+                raise ValueError(
+                    f"SGD state shape mismatch for {key!r}: expected "
+                    f"{param.data.shape}, got {array.shape}"
+                )
+            resolved.append((param, array))
+        self._velocity = {
+            id(param): array.astype(param.data.dtype).copy() for param, array in resolved
+        }
 
 
 class Adam(Optimizer):
@@ -159,3 +226,38 @@ class Adam(Optimizer):
             np.divide(m, scratch, out=scratch)
             scratch *= self.lr / bias1
             p.data -= scratch
+
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        state["extra"]["t"] = self._t
+        for index, p in enumerate(self.parameters):
+            buffers = self._state.get(id(p))
+            if buffers is not None:
+                state["arrays"][f"{index}.m"] = buffers[0].copy()
+                state["arrays"][f"{index}.v"] = buffers[1].copy()
+        return state
+
+    def load_state_dict(self, state) -> None:
+        super().load_state_dict(state)
+        # Validate every entry before touching any state, so a malformed
+        # snapshot raises with the optimiser unchanged.
+        if "t" not in state.get("extra", {}):
+            raise KeyError("Adam state is missing the step count 't'")
+        resolved = []
+        for key, value in state["arrays"].items():
+            param, field = self._param_at(key)
+            if field not in ("m", "v"):
+                raise ValueError(f"unknown Adam state field {field!r}")
+            array = np.asarray(value)
+            if array.shape != param.data.shape:
+                raise ValueError(
+                    f"Adam state shape mismatch for {key!r}: expected "
+                    f"{param.data.shape}, got {array.shape}"
+                )
+            resolved.append((param, field, array))
+        self._t = int(state["extra"]["t"])
+        self._state = {}
+        for param, field, array in resolved:
+            m, v, _, _ = self._buffers(param)
+            target = m if field == "m" else v
+            np.copyto(target, array.astype(param.data.dtype, copy=False))

@@ -1,23 +1,52 @@
-"""Model checkpoint serialization.
+"""Model and training-state checkpoint serialization.
 
 Checkpoints are stored as ``.npz`` archives holding a flat mapping of
 qualified parameter names to arrays plus an optional JSON metadata blob.  This
 keeps checkpoints portable (no pickle of arbitrary objects) and diffable.
+
+Two levels of checkpoint are supported:
+
+* **Model checkpoints** (:func:`save_checkpoint` / :func:`load_checkpoint`) —
+  just the parameter arrays of a :class:`~repro.nn.module.Module`.
+* **Training checkpoints** (:func:`save_training_checkpoint` /
+  :func:`load_training_checkpoint`) — parameters *plus* the optimiser's
+  moment buffers and step count and the JSON states of every random stream
+  feeding the run.  Restoring one resumes an interrupted training run with a
+  bit-identical continuation (same batch shuffles, same VAE noise, same
+  Adam trajectory); :class:`repro.core.trainer.Trainer` exposes this through
+  its ``checkpoint_path`` hooks.
+
+Training checkpoints are written atomically (write to a sibling temp file,
+then ``os.replace``), so a run killed mid-save never leaves a truncated
+archive behind.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.nn.module import Module
+from repro.nn.optim import Optimizer
 
-__all__ = ["save_checkpoint", "load_checkpoint", "save_state_dict", "load_state_dict"]
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_state_dict",
+    "load_state_dict",
+    "save_training_checkpoint",
+    "load_training_checkpoint",
+]
 
 _METADATA_KEY = "__metadata_json__"
+_MODEL_PREFIX = "model."
+_OPTIM_PREFIX = "optim."
+_OPTIMIZER_META = "__optimizer__"
+_RNG_META = "__rng_states__"
 
 
 def save_state_dict(state: Dict[str, np.ndarray], path: Union[str, Path],
@@ -59,3 +88,158 @@ def load_checkpoint(model: Module, path: Union[str, Path], strict: bool = True) 
     state, metadata = load_state_dict(path)
     model.load_state_dict(state, strict=strict)
     return metadata
+
+
+# --------------------------------------------------------------------------- #
+# full training checkpoints (model + optimizer + RNG streams)
+# --------------------------------------------------------------------------- #
+def save_training_checkpoint(
+    path: Union[str, Path],
+    model: Module,
+    optimizer: Optional[Optimizer] = None,
+    rng_states: Optional[List[dict]] = None,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Atomically persist everything an interrupted training run needs.
+
+    Parameters
+    ----------
+    path:
+        Target ``.npz`` file (the suffix is appended when missing).
+    model:
+        The module whose parameters are snapshotted.
+    optimizer:
+        Optional optimiser; its :meth:`~repro.nn.optim.Optimizer.state_dict`
+        arrays are stored alongside the parameters.
+    rng_states:
+        Optional list of :meth:`repro.utils.rng.RandomState.get_state`
+        snapshots (order matters — the loader restores them positionally).
+    metadata:
+        Extra JSON-serialisable metadata (e.g. epoch count, loss history).
+
+    Returns
+    -------
+    The final checkpoint path.  The archive is written to a sibling temp file
+    first and moved into place with ``os.replace``, so readers never observe
+    a partially written checkpoint.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    payload: Dict[str, np.ndarray] = {
+        f"{_MODEL_PREFIX}{name}": value for name, value in model.state_dict().items()
+    }
+    meta: Dict[str, Any] = dict(metadata or {})
+    if optimizer is not None:
+        optim_state = optimizer.state_dict()
+        payload.update(
+            {f"{_OPTIM_PREFIX}{key}": value for key, value in optim_state["arrays"].items()}
+        )
+        meta[_OPTIMIZER_META] = {"type": optim_state["type"], "extra": optim_state["extra"]}
+    if rng_states is not None:
+        meta[_RNG_META] = rng_states
+    payload[_METADATA_KEY] = np.frombuffer(
+        json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )
+
+    tmp_path = path.with_name(path.name + ".tmp")
+    with open(tmp_path, "wb") as handle:
+        np.savez(handle, **payload)
+    os.replace(tmp_path, path)
+    return path
+
+
+def load_training_checkpoint(
+    path: Union[str, Path],
+    model: Optional[Module] = None,
+    optimizer: Optional[Optimizer] = None,
+    strict: bool = True,
+    expected_rng_streams: Optional[int] = None,
+) -> Tuple[Dict[str, Any], Optional[List[dict]]]:
+    """Restore a :func:`save_training_checkpoint` archive in place.
+
+    Parameters
+    ----------
+    path:
+        Checkpoint file (``.npz`` suffix appended when missing).
+    model / optimizer:
+        Restored in place when given.  The optimiser type must match the one
+        that produced the checkpoint.
+    strict:
+        Passed through to :meth:`Module.load_state_dict`.
+    expected_rng_streams:
+        When given, the checkpoint must carry exactly this many RNG state
+        snapshots.
+
+    Everything is validated **before** any state is mutated: optimiser type,
+    RNG stream count, parameter names and shapes.  A mismatch raises with
+    the model and optimiser untouched, so a failed restore never leaves a
+    half-restored mix of checkpoint weights and fresh optimiser/RNG state.
+
+    Returns
+    -------
+    ``(metadata, rng_states)`` — the user metadata dict (internal bookkeeping
+    keys stripped) and the list of RNG state snapshots, or ``None`` when the
+    checkpoint carries none.
+    """
+    state, meta = load_state_dict(path)
+    optimizer_meta = meta.pop(_OPTIMIZER_META, None)
+    rng_states = meta.pop(_RNG_META, None)
+
+    # -- validate everything up front (no mutation yet) ------------------- #
+    if optimizer is not None:
+        if optimizer_meta is None:
+            raise KeyError(f"checkpoint {path} holds no optimizer state")
+        if optimizer_meta["type"] != type(optimizer).__name__:
+            raise ValueError(
+                f"checkpoint optimizer is {optimizer_meta['type']!r}, "
+                f"not {type(optimizer).__name__!r}"
+            )
+    if expected_rng_streams is not None:
+        found = 0 if rng_states is None else len(rng_states)
+        if found != expected_rng_streams:
+            raise ValueError(
+                f"checkpoint holds {found} RNG streams but {expected_rng_streams} "
+                "were expected; was the model constructed differently?"
+            )
+    model_state = {
+        key[len(_MODEL_PREFIX):]: value
+        for key, value in state.items()
+        if key.startswith(_MODEL_PREFIX)
+    }
+    if model is not None:
+        own = dict(model.named_parameters())
+        if strict:
+            missing = set(own) - set(model_state)
+            unexpected = set(model_state) - set(own)
+            if missing or unexpected:
+                raise KeyError(
+                    f"checkpoint/model mismatch: missing={sorted(missing)}, "
+                    f"unexpected={sorted(unexpected)}"
+                )
+        for name, param in own.items():
+            if name in model_state and model_state[name].shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for '{name}': expected {param.data.shape}, "
+                    f"got {model_state[name].shape}"
+                )
+
+    # -- restore ----------------------------------------------------------- #
+    # Optimiser first: its load_state_dict validates every entry before
+    # mutating, so a malformed optimizer payload raises with BOTH optimiser
+    # and model untouched.  The model restore after it cannot fail — names
+    # and shapes were checked above.
+    if optimizer is not None:
+        arrays = {
+            key[len(_OPTIM_PREFIX):]: value
+            for key, value in state.items()
+            if key.startswith(_OPTIM_PREFIX)
+        }
+        optimizer.load_state_dict(
+            {"type": optimizer_meta["type"], "arrays": arrays, "extra": optimizer_meta["extra"]}
+        )
+    if model is not None:
+        model.load_state_dict(model_state, strict=strict)
+    return meta, rng_states

@@ -31,32 +31,35 @@ __all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
 ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
 
 # --------------------------------------------------------------------------- #
-# global grad mode (mirrors torch.no_grad)
+# grad mode (mirrors torch.no_grad) — thread-local, so one thread scoring
+# under no_grad() never disables graph recording for a thread that is
+# training concurrently (the experiment orchestrator runs independent
+# stages in parallel workers).
 # --------------------------------------------------------------------------- #
-_GRAD_ENABLED = True
+import threading as _threading
+
+_GRAD_STATE = _threading.local()
 
 
 class no_grad:
-    """Context manager disabling graph recording.
+    """Context manager disabling graph recording in the current thread.
 
     Used during inference (anomaly scoring) so that scoring thousands of
     trajectories does not build throw-away computation graphs.
     """
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._previous = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._previous = is_grad_enabled()
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, *exc) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._previous
+        _GRAD_STATE.enabled = self._previous
 
 
 def is_grad_enabled() -> bool:
-    """Whether operations currently record backward functions."""
-    return _GRAD_ENABLED
+    """Whether operations in the current thread record backward functions."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -107,7 +110,7 @@ class Tensor:
         if not np.issubdtype(arr.dtype, np.floating):
             arr = arr.astype(np.float64)
         self.data: np.ndarray = arr
-        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad: bool = bool(requires_grad) and is_grad_enabled()
         self.grad: Optional[np.ndarray] = None
         self._backward = _backward
         self._parents = _parents if self.requires_grad or _parents else ()
@@ -164,7 +167,7 @@ class Tensor:
         parents: Tuple["Tensor", ...],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = parents
@@ -596,7 +599,7 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
         pieces = np.split(grad, np.cumsum(sizes)[:-1], axis=axis)
         return list(zip(tensors, pieces))
 
-    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
     out = Tensor(data, requires_grad=requires)
     if requires:
         out._parents = tuple(tensors)
@@ -613,7 +616,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
         pieces = np.split(grad, len(tensors), axis=axis)
         return [(t, np.squeeze(p, axis=axis)) for t, p in zip(tensors, pieces)]
 
-    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
     out = Tensor(data, requires_grad=requires)
     if requires:
         out._parents = tuple(tensors)

@@ -136,13 +136,28 @@ class UniformGridIndex:
         return np.clip(idx, 0, limit - 1)
 
     def cell_of(self, x: float, y: float) -> Tuple[int, int]:
-        """Grid cell of a point (clipped to the index bounds)."""
+        """Grid cell ``(cx, cy)`` containing the point ``(x, y)``.
+
+        Points outside the indexed bounding box are clipped to the nearest
+        border cell, so every query point maps to a valid cell.
+        """
         cx = min(max(int((x - self.origin[0]) / self.cell_size), 0), self.nx - 1)
         cy = min(max(int((y - self.origin[1]) / self.cell_size), 0), self.ny - 1)
         return cx, cy
 
     def cell_ids(self, points: np.ndarray) -> np.ndarray:
-        """Flat cell indices of many points at once (clipped to bounds)."""
+        """Flat cell indices of many points at once.
+
+        Parameters
+        ----------
+        points:
+            ``(N, 2)`` array of ``(x, y)`` coordinates.
+
+        Returns
+        -------
+        ``(N,)`` int64 array of flattened cell ids (``cy * nx + cx``),
+        clipped to the index bounds like :meth:`cell_of`.
+        """
         cx = self._cell_coord(points[:, 0], self.origin[0], self.nx)
         cy = self._cell_coord(points[:, 1], self.origin[1], self.ny)
         return cy * self.nx + cx
@@ -173,11 +188,21 @@ class UniformGridIndex:
         return block
 
     def max_ring(self, cx: int, cy: int) -> int:
-        """Largest Chebyshev ring around ``(cx, cy)`` still inside the grid."""
+        """Largest Chebyshev ring around ``(cx, cy)`` still inside the grid.
+
+        Iterating rings ``0 .. max_ring`` therefore visits every cell of the
+        index exactly once — the termination bound of the expanding
+        nearest-segment search.
+        """
         return max(cx, self.nx - 1 - cx, cy, self.ny - 1 - cy)
 
     def ring_segments(self, cx: int, cy: int, ring: int) -> np.ndarray:
-        """Segment ids registered in cells at Chebyshev distance exactly ``ring``."""
+        """Segment ids registered in cells at Chebyshev distance exactly ``ring``.
+
+        Returns a 1-D int64 array; may contain duplicates (a segment can span
+        several cells of the ring) and is empty when the ring lies entirely
+        outside the grid.
+        """
         if ring == 0:
             cell = cy * self.nx + cx
             return self._cell_segments[self._indptr[cell] : self._indptr[cell + 1]]
@@ -290,7 +315,11 @@ class CompiledRoadGraph:
     # successor structure
     # ------------------------------------------------------------------ #
     def successors(self, segment_id: int) -> np.ndarray:
-        """Successor segment ids of ``segment_id`` (ascending)."""
+        """Successor segment ids of ``segment_id``.
+
+        Returns a 1-D int64 view into the CSR ``succ_indices`` array, sorted
+        ascending; empty for dead-end segments.  O(out-degree), no copy.
+        """
         return self.succ_indices[self.succ_indptr[segment_id] : self.succ_indptr[segment_id + 1]]
 
     def successor_tables(self) -> Tuple[np.ndarray, np.ndarray]:
@@ -310,7 +339,19 @@ class CompiledRoadGraph:
         return self._succ_tables
 
     def successors_contain(self, segments: np.ndarray, candidates: np.ndarray) -> np.ndarray:
-        """Elementwise ``candidates[i] ∈ successors(segments[i])`` (broadcasting)."""
+        """Elementwise membership test ``candidates[i] ∈ successors(segments[i])``.
+
+        Parameters
+        ----------
+        segments / candidates:
+            Integer arrays of broadcast-compatible shapes (e.g. both ``(N,)``,
+            or ``segments`` ``(N,)`` against ``candidates`` ``(N,)``).
+
+        Returns
+        -------
+        Boolean array of the broadcast shape; True where the candidate is a
+        valid road-graph transition from the corresponding segment.
+        """
         idx, valid = self.successor_tables()
         segments = np.asarray(segments, dtype=np.int64)
         candidates = np.asarray(candidates, dtype=np.int64)
@@ -526,7 +567,12 @@ class CompiledRoadGraph:
     # weights
     # ------------------------------------------------------------------ #
     def length_weights(self) -> List[float]:
-        """Per-segment length weights as a plain list (the Dijkstra default)."""
+        """Per-segment length weights as a plain Python list of floats.
+
+        This is the Dijkstra default (shortest = fewest metres); cached
+        because the heap loop indexes a list faster than an ndarray.
+        Length ``num_segments``, indexed by segment id.
+        """
         if self._length_weight_list is None:
             self._length_weight_list = self.seg_length.tolist()
         return self._length_weight_list
@@ -556,7 +602,12 @@ class CompiledRoadGraph:
 
 
 def compile_road_graph(network: "RoadNetwork") -> CompiledRoadGraph:
-    """Freeze ``network`` into a :class:`CompiledRoadGraph` (no caching)."""
+    """Freeze ``network`` into a :class:`CompiledRoadGraph`.
+
+    Builds fresh flat arrays on every call; prefer
+    :meth:`RoadNetwork.compiled`, which constructs the view once and caches
+    it on the network (invalidated when segments are added).
+    """
     return CompiledRoadGraph(network)
 
 
@@ -632,7 +683,12 @@ def csr_route(
     weights: WeightsLike = None,
     banned_segments=None,
 ) -> Optional[List[int]]:
-    """Shortest segment-id route between two node indices, or ``None``."""
+    """Shortest route between two node indices as a list of segment ids.
+
+    Returns ``[]`` when source and target coincide and ``None`` when the
+    target is unreachable; otherwise the segment ids in travel order.
+    ``weights`` / ``banned_segments`` follow :func:`csr_dijkstra`.
+    """
     if source_index == target_index:
         return []
     _, prev_node, prev_seg = csr_dijkstra(

@@ -48,7 +48,26 @@ __all__ = ["FleetEngine", "TickReport", "FinishedRide", "FleetRunSummary"]
 
 @dataclass(frozen=True)
 class FinishedRide:
-    """Final record of a completed (or evicted) ride."""
+    """Final record of a completed (or evicted) ride.
+
+    Attributes
+    ----------
+    ride_id:
+        The ride's unique identifier (as submitted in :class:`RideStart`).
+    final_score:
+        Cumulative debiased anomaly score (Eq. 10) over the observed prefix;
+        higher = more anomalous.
+    per_segment_score:
+        ``final_score`` normalised by the number of scored transitions —
+        comparable across rides of different lengths.
+    observed_length:
+        Number of segments observed, including the start segment.
+    started_tick / finished_tick:
+        Engine ticks bracketing the session's lifetime.
+    evicted:
+        True when the session ended by capacity/TTL eviction rather than a
+        :class:`RideEnd` event.
+    """
 
     ride_id: str
     final_score: float
@@ -61,7 +80,22 @@ class FinishedRide:
 
 @dataclass
 class TickReport:
-    """What one engine tick did."""
+    """What one :meth:`FleetEngine.tick` did.
+
+    Attributes
+    ----------
+    tick:
+        The tick index the report covers.
+    rides_started / rides_finished / rides_evicted:
+        Session lifecycle counts within this tick.
+    segments_processed:
+        Number of observations consumed by the batched kernel step (at most
+        one per active ride per tick).
+    alerts:
+        Alerts raised by the configured policy during this tick.
+    seconds:
+        Wall-clock duration of the tick.
+    """
 
     tick: int
     rides_started: int = 0
@@ -146,10 +180,12 @@ class FleetEngine:
     # ------------------------------------------------------------------ #
     @property
     def current_tick(self) -> int:
+        """Index of the next tick to execute (0 before the first tick)."""
         return self._tick
 
     @property
     def active_rides(self) -> int:
+        """Number of rides with a live session in the store."""
         return len(self.store)
 
     def _check_segment(self, segment_id: int) -> None:
@@ -161,7 +197,18 @@ class FleetEngine:
             )
 
     def submit(self, event: FleetEvent) -> None:
-        """Queue one event; it takes effect on the next :meth:`tick`."""
+        """Queue one event; it takes effect on the next :meth:`tick`.
+
+        Parameters
+        ----------
+        event:
+            A :class:`RideStart` (opens a session; raises ``ValueError`` on a
+            duplicate ride id), :class:`SegmentObserved` (appended to the
+            ride's observation queue; silently dropped — and counted in
+            telemetry — when the ride is unknown) or :class:`RideEnd`
+            (closes the session once its observations have drained).
+            Segment ids must lie in ``[0, num_segments)``.
+        """
         # SegmentObserved dominates real streams, so it is dispatched first.
         if isinstance(event, SegmentObserved):
             self._check_segment(event.segment_id)
@@ -189,7 +236,8 @@ class FleetEngine:
             raise TypeError(f"unknown fleet event: {event!r}")
 
     def ingest(self, events: Iterable[FleetEvent]) -> None:
-        """Queue a batch of events."""
+        """Queue a batch of events (equivalent to :meth:`submit` per event,
+        preserving iteration order)."""
         for event in events:
             self.submit(event)
 
@@ -322,16 +370,25 @@ class FleetEngine:
     # queries
     # ------------------------------------------------------------------ #
     def score(self, ride_id: str) -> Optional[float]:
-        """Current cumulative score of an active ride (``None`` if unknown)."""
+        """Current cumulative debiased score of an active ride.
+
+        Returns ``None`` when the ride has no live session (never started,
+        already finished, or evicted); otherwise the running Eq. (10) score
+        over the segments observed so far (higher = more anomalous).
+        """
         state = self.store.get(ride_id)
         return state.score(self.lambda_weight) if state is not None else None
 
     def active_scores(self) -> Dict[str, float]:
-        """Cumulative scores of every active ride."""
+        """Mapping ``ride_id -> cumulative score`` for every active ride."""
         return {state.ride_id: state.score(self.lambda_weight) for state in self.store.states()}
 
     def top_k(self, k: int) -> List[Tuple[str, float]]:
-        """The ``k`` most anomalous active rides (per-segment score, desc)."""
+        """The ``k`` most anomalous active rides as ``(ride_id, score)``.
+
+        Ranked by *per-segment* score descending, so long rides do not
+        dominate merely by accumulating more terms.
+        """
         return top_k_rides(self.store.states(), k, self.lambda_weight)
 
     # ------------------------------------------------------------------ #

@@ -108,6 +108,26 @@ class RandomState:
         seeds = self._rng.integers(0, 2**31 - 1, size=n)
         return [RandomState(int(s)) for s in seeds]
 
+    # ------------------------------------------------------------------ #
+    # state round-trip (checkpoint / resume)
+    # ------------------------------------------------------------------ #
+    def get_state(self) -> dict:
+        """JSON-serialisable snapshot of the generator's internal state.
+
+        The returned dict is the underlying bit generator's ``.state`` (plain
+        ints and strings), so it survives a JSON round-trip inside a training
+        checkpoint.  Restoring it with :meth:`set_state` makes every
+        subsequent draw identical to the stream at snapshot time — the basis
+        of bit-identical training resume.
+        """
+        import copy
+
+        return copy.deepcopy(self._rng.bit_generator.state)
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`get_state`."""
+        self._rng.bit_generator.state = state
+
 
 # ---------------------------------------------------------------------- #
 # module-level convenience generator

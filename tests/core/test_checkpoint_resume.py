@@ -1,0 +1,228 @@
+"""Full-model checkpoint round-trip: interrupted training must be bit-identical.
+
+The contract pinned here backs the experiment orchestrator's resumable
+``train/<detector>`` stages: killing a training run at any epoch boundary and
+re-running it from the checkpoint must reproduce the uninterrupted run's loss
+trajectory and final parameters *bitwise* — same Adam moments, same RNG
+streams (batch shuffling and VAE reparameterisation noise), same arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CausalTAD, CausalTADConfig, Trainer, TrainingConfig
+from repro.nn import (
+    Adam,
+    Linear,
+    SGD,
+    load_training_checkpoint,
+    save_training_checkpoint,
+)
+from repro.nn.module import Parameter
+from repro.trajectory import BenchmarkConfig, build_benchmark_data
+from repro.roadnet import XIAN_LIKE
+from repro.utils import RandomState
+
+
+@pytest.fixture(scope="module")
+def tiny_data():
+    return build_benchmark_data(
+        city_config=XIAN_LIKE, config=BenchmarkConfig.tiny(), rng=RandomState(0)
+    )
+
+
+def _make_trainer(data, seed: int = 1, epochs: int = 6):
+    rng = RandomState(seed)
+    config = CausalTADConfig.tiny(data.num_segments)
+    model = CausalTAD(config, network=data.city.network, rng=rng)
+    training = TrainingConfig(epochs=epochs, batch_size=16, learning_rate=0.02, seed=seed)
+    return model, Trainer(model, training, rng=rng)
+
+
+class TestOptimizerStateRoundTrip:
+    def test_adam_state_dict_restores_moments_and_step(self):
+        params = [Parameter(np.ones(3)), Parameter(np.zeros((2, 2)))]
+        optimizer = Adam(params, lr=0.05)
+        for _ in range(3):
+            for p in params:
+                p.grad = np.full(p.data.shape, 0.5)
+            optimizer.step()
+        state = optimizer.state_dict()
+
+        twin_params = [Parameter(p.data.copy()) for p in params]
+        twin = Adam(twin_params, lr=0.05)
+        twin.load_state_dict(state)
+        for p, q in zip(params, twin_params):
+            p.grad = np.full(p.data.shape, 0.25)
+            q.grad = np.full(q.data.shape, 0.25)
+        optimizer.step()
+        twin.step()
+        for p, q in zip(params, twin_params):
+            np.testing.assert_array_equal(p.data, q.data)
+
+    def test_adam_rejects_wrong_type(self):
+        param = Parameter(np.ones(2))
+        sgd_state = SGD([param], lr=0.1).state_dict()
+        with pytest.raises(ValueError):
+            Adam([param], lr=0.1).load_state_dict(sgd_state)
+
+    def test_malformed_state_leaves_optimizer_untouched(self):
+        """Validation must complete before any mutation (restore atomicity)."""
+        param = Parameter(np.zeros(3))
+        optimizer = Adam([param], lr=0.1)
+        param.grad = np.ones(3)
+        optimizer.step()
+        t_before = optimizer._t
+        m_before = optimizer._state[id(param)][0].copy()
+
+        good = optimizer.state_dict()
+        missing_t = {"type": "Adam", "arrays": dict(good["arrays"]), "extra": {}}
+        with pytest.raises(KeyError):
+            optimizer.load_state_dict(missing_t)
+        bad_field = {"type": "Adam", "arrays": {"0.zz": np.zeros(3)}, "extra": {"t": 1}}
+        with pytest.raises(ValueError):
+            optimizer.load_state_dict(bad_field)
+        bad_shape = {"type": "Adam", "arrays": {"0.m": np.zeros(7)}, "extra": {"t": 1}}
+        with pytest.raises(ValueError):
+            optimizer.load_state_dict(bad_shape)
+
+        assert optimizer._t == t_before
+        np.testing.assert_array_equal(optimizer._state[id(param)][0], m_before)
+
+    def test_sgd_velocity_round_trip(self):
+        param = Parameter(np.zeros(4))
+        optimizer = SGD([param], lr=0.1, momentum=0.9)
+        param.grad = np.ones(4)
+        optimizer.step()
+        state = optimizer.state_dict()
+
+        twin_param = Parameter(param.data.copy())
+        twin = SGD([twin_param], lr=0.1, momentum=0.9)
+        twin.load_state_dict(state)
+        param.grad = np.ones(4)
+        twin_param.grad = np.ones(4)
+        optimizer.step()
+        twin.step()
+        np.testing.assert_array_equal(param.data, twin_param.data)
+
+
+class TestTrainingCheckpointArchive:
+    def test_round_trip_with_rng_states(self, tmp_path):
+        rng = RandomState(3)
+        model = Linear(4, 3, rng=RandomState(0))
+        optimizer = Adam(model.parameters(), lr=0.1)
+        model.weight.grad = np.ones_like(model.weight.data)
+        model.bias.grad = np.ones_like(model.bias.data)
+        optimizer.step()
+        rng.normal(size=5)  # advance the stream past its seed state
+
+        path = save_training_checkpoint(
+            tmp_path / "ckpt.npz",
+            model,
+            optimizer=optimizer,
+            rng_states=[rng.get_state()],
+            metadata={"epoch": 1},
+        )
+
+        model2 = Linear(4, 3, rng=RandomState(99))
+        optimizer2 = Adam(model2.parameters(), lr=0.1)
+        rng2 = RandomState(3)
+        metadata, rng_states = load_training_checkpoint(path, model2, optimizer2)
+        assert metadata["epoch"] == 1
+        assert rng_states is not None and len(rng_states) == 1
+        rng2.set_state(rng_states[0])
+
+        np.testing.assert_array_equal(model.weight.data, model2.weight.data)
+        np.testing.assert_array_equal(rng.normal(size=8), rng2.normal(size=8))
+
+    def test_atomic_write_leaves_no_temp_file(self, tmp_path):
+        model = Linear(2, 2, rng=RandomState(0))
+        path = save_training_checkpoint(tmp_path / "ckpt.npz", model)
+        assert path.exists()
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_missing_optimizer_state_raises(self, tmp_path):
+        model = Linear(2, 2, rng=RandomState(0))
+        path = save_training_checkpoint(tmp_path / "ckpt.npz", model)
+        with pytest.raises(KeyError):
+            load_training_checkpoint(path, model, Adam(model.parameters(), lr=0.1))
+
+
+class TestBitIdenticalResume:
+    def test_causal_tad_resume_matches_uninterrupted(self, tiny_data, tmp_path):
+        """Save CausalTAD + Adam mid-training; the resumed loss trajectory and
+        final parameters must match an uninterrupted run bitwise."""
+        _, reference_trainer = _make_trainer(tiny_data)
+        reference = reference_trainer.fit(tiny_data.train)
+
+        checkpoint = tmp_path / "ckpt.npz"
+        _, first_half = _make_trainer(tiny_data)
+        first_half.fit(tiny_data.train, epochs=3, checkpoint_path=checkpoint)
+
+        resumed_model, resumed_trainer = _make_trainer(tiny_data)
+        resumed = resumed_trainer.fit(tiny_data.train, checkpoint_path=checkpoint)
+
+        assert resumed.train_losses == reference.train_losses
+        for (name, p), (_, q) in zip(
+            reference_trainer.model.named_parameters(), resumed_model.named_parameters()
+        ):
+            assert np.array_equal(p.data, q.data), f"parameter {name} diverged"
+
+    def test_resume_skips_completed_epochs(self, tiny_data, tmp_path):
+        checkpoint = tmp_path / "ckpt.npz"
+        _, trainer = _make_trainer(tiny_data)
+        trainer.fit(tiny_data.train, epochs=4, checkpoint_path=checkpoint)
+
+        model2, trainer2 = _make_trainer(tiny_data)
+        history = trainer2.fit(tiny_data.train, epochs=4, checkpoint_path=checkpoint)
+        # Nothing left to train: history restored verbatim, no new epochs run.
+        assert history.num_epochs == 4
+
+    def test_unreadable_checkpoint_is_ignored(self, tiny_data, tmp_path):
+        checkpoint = tmp_path / "ckpt.npz"
+        checkpoint.write_bytes(b"not a checkpoint")
+        _, trainer = _make_trainer(tiny_data)
+        history = trainer.fit(tiny_data.train, epochs=2, checkpoint_path=checkpoint)
+        assert history.num_epochs == 2
+
+    def test_shape_mismatched_checkpoint_leaves_model_untouched(self, tiny_data, tmp_path):
+        """A checkpoint from a differently-sized model must be rejected
+        before any parameter is overwritten, then ignored by fit()."""
+        checkpoint = tmp_path / "ckpt.npz"
+        _, trainer = _make_trainer(tiny_data)
+        trainer.fit(tiny_data.train, epochs=1, checkpoint_path=checkpoint)
+
+        rng = RandomState(1)
+        wide = CausalTAD(
+            CausalTADConfig(
+                num_segments=tiny_data.num_segments,
+                embedding_dim=24, hidden_dim=24, latent_dim=12,
+            ),
+            network=tiny_data.city.network,
+            rng=rng,
+        )
+        wide_trainer = Trainer(
+            wide, TrainingConfig(epochs=1, batch_size=16, learning_rate=0.02, seed=1), rng=rng
+        )
+        before = {name: p.data.copy() for name, p in wide.named_parameters()}
+        with pytest.raises((ValueError, KeyError)):
+            wide_trainer.load_checkpoint(checkpoint)
+        for name, p in wide.named_parameters():
+            assert np.array_equal(before[name], p.data), f"{name} was mutated"
+        # fit() treats the unusable checkpoint as absent and trains fresh.
+        history = wide_trainer.fit(tiny_data.train, epochs=1, checkpoint_path=checkpoint)
+        assert history.num_epochs == 1
+
+    def test_checkpoint_disabled_by_resume_false(self, tiny_data, tmp_path):
+        checkpoint = tmp_path / "ckpt.npz"
+        _, trainer = _make_trainer(tiny_data)
+        trainer.fit(tiny_data.train, epochs=2, checkpoint_path=checkpoint)
+
+        _, trainer2 = _make_trainer(tiny_data)
+        history = trainer2.fit(
+            tiny_data.train, epochs=2, checkpoint_path=checkpoint, resume=False
+        )
+        # resume=False retrains from scratch (2 fresh epochs, not 0).
+        assert history.num_epochs == 2

@@ -1,0 +1,306 @@
+"""Tests for the experiment orchestrator (fingerprints, cache, DAG, pipeline).
+
+The pipeline end-to-end tests run a micro profile (smaller than ``smoke``)
+so the whole suite stays in unit-test time, while still exercising every
+stage kind: dataset build, resumable training, evaluation and report
+rendering.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ArtifactCache,
+    ExperimentDAG,
+    PROFILES,
+    Stage,
+    build_pipeline,
+    code_fingerprint,
+    config_fingerprint,
+    get_profile,
+    render_report_from_cache,
+    stage_key,
+)
+
+
+# --------------------------------------------------------------------------- #
+# fingerprints
+# --------------------------------------------------------------------------- #
+class TestFingerprints:
+    def test_config_fingerprint_ignores_dict_order(self):
+        assert config_fingerprint({"a": 1, "b": 2}) == config_fingerprint({"b": 2, "a": 1})
+
+    def test_config_fingerprint_distinguishes_values(self):
+        assert config_fingerprint({"a": 1}) != config_fingerprint({"a": 2})
+
+    def test_config_fingerprint_handles_dataclasses(self):
+        profile = PROFILES["smoke"]
+        assert config_fingerprint(profile) == config_fingerprint(profile)
+        altered = dataclasses.replace(profile, seed=profile.seed + 1)
+        assert config_fingerprint(profile) != config_fingerprint(altered)
+
+    def test_code_fingerprint_is_stable(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 64
+
+    def test_stage_key_folds_in_dependencies(self):
+        base = stage_key("s", {"x": 1}, [])
+        assert stage_key("s", {"x": 1}, ["abc"]) != base
+        assert stage_key("other", {"x": 1}, []) != base
+
+
+# --------------------------------------------------------------------------- #
+# cache
+# --------------------------------------------------------------------------- #
+class TestArtifactCache:
+    def test_store_load_round_trip(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "artifacts")
+        payload = {"array": np.arange(4), "text": "hello"}
+        cache.store("stage/a", "k" * 64, payload, meta={"elapsed_seconds": 0.1})
+        assert cache.has("stage/a", "k" * 64)
+        loaded = cache.load("stage/a", "k" * 64)
+        np.testing.assert_array_equal(loaded["array"], payload["array"])
+        meta = cache.load_meta("stage/a", "k" * 64)
+        assert meta["stage"] == "stage/a"
+        assert meta["bytes"] > 0
+
+    def test_load_returns_fresh_copies(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("s", "key", {"x": [1, 2]})
+        first = cache.load("s", "key")
+        second = cache.load("s", "key")
+        assert first is not second
+        first["x"].append(3)
+        assert cache.load("s", "key")["x"] == [1, 2]
+
+    def test_rejects_roots_inside_package(self):
+        import repro
+        from pathlib import Path
+
+        package_dir = Path(repro.__file__).parent
+        with pytest.raises(ValueError):
+            ArtifactCache(package_dir / "artifacts").ensure_outside_package()
+        with pytest.raises(ValueError):
+            ArtifactCache(package_dir.parent).ensure_outside_package()
+
+    def test_accepts_roots_outside_package(self, tmp_path):
+        ArtifactCache(tmp_path / "artifacts").ensure_outside_package()
+
+
+# --------------------------------------------------------------------------- #
+# DAG executor
+# --------------------------------------------------------------------------- #
+def _constant(value):
+    return lambda ctx: value
+
+
+class TestExperimentDAG:
+    def test_rejects_unknown_dependency(self):
+        dag = ExperimentDAG()
+        with pytest.raises(ValueError):
+            dag.add(Stage("b", _constant(1), deps=("missing",)))
+
+    def test_rejects_duplicate_names(self):
+        dag = ExperimentDAG()
+        dag.add(Stage("a", _constant(1)))
+        with pytest.raises(ValueError):
+            dag.add(Stage("a", _constant(2)))
+
+    def test_topological_order_respects_dependencies(self):
+        dag = ExperimentDAG()
+        dag.add(Stage("a", _constant(1)))
+        dag.add(Stage("b", _constant(2), deps=("a",)))
+        dag.add(Stage("c", _constant(3), deps=("a", "b")))
+        order = [stage.name for stage in dag.topological_order()]
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_run_executes_and_caches(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "artifacts")
+        calls = []
+
+        def tracked(name, value, deps=()):
+            def func(ctx):
+                calls.append(name)
+                return value + sum(ctx.input(dep) for dep in deps)
+
+            return Stage(name, func, deps=tuple(deps), config={"v": value})
+
+        def build():
+            dag = ExperimentDAG()
+            dag.add(tracked("one", 1))
+            dag.add(tracked("two", 2, deps=("one",)))
+            dag.add(tracked("three", 3, deps=("one", "two")))
+            return dag
+
+        summary = build().run(cache, jobs=2, log=lambda _m: None)
+        assert summary.num_ran == 3 and summary.num_cached == 0
+        keys = build().compute_keys()
+        assert cache.load("three", keys["three"]) == 3 + 1 + (2 + 1)
+
+        calls.clear()
+        summary = build().run(cache, jobs=2, log=lambda _m: None)
+        assert summary.num_ran == 0 and summary.num_cached == 3
+        assert calls == []
+
+        summary = build().run(cache, jobs=2, force=True, log=lambda _m: None)
+        assert summary.num_ran == 3
+
+    def test_config_change_invalidates_downstream_only(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "artifacts")
+
+        def build(leaf_config):
+            dag = ExperimentDAG()
+            dag.add(Stage("root", _constant(1), config={"v": 1}))
+            dag.add(Stage("leaf", lambda ctx: ctx.input("root") + 1, deps=("root",),
+                          config=leaf_config))
+            return dag
+
+        build({"k": 1}).run(cache, log=lambda _m: None)
+        summary = build({"k": 2}).run(cache, log=lambda _m: None)
+        statuses = {e.name: e.status for e in summary.executions}
+        assert statuses == {"root": "cached", "leaf": "ran"}
+
+    def test_failure_raises_and_names_stage(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "artifacts")
+
+        def boom(ctx):
+            raise ValueError("broken stage")
+
+        dag = ExperimentDAG()
+        dag.add(Stage("ok", _constant(1)))
+        dag.add(Stage("bad", boom, deps=("ok",)))
+        with pytest.raises(RuntimeError, match="bad"):
+            dag.run(cache, log=lambda _m: None)
+
+    def test_failure_drains_inflight_stages_with_real_outcomes(self, tmp_path):
+        """Concurrent stages finishing after a failure are recorded as 'ran',
+        not mislabelled as 'skipped', and their artifacts are stored."""
+        import threading
+        import time as _time
+
+        cache = ArtifactCache(tmp_path / "artifacts")
+        release = threading.Event()
+
+        def slow_ok(ctx):
+            release.wait(timeout=10)
+            return "ok"
+
+        def boom(ctx):
+            release.set()
+            _time.sleep(0.05)  # let slow_ok get past the wait
+            raise ValueError("broken stage")
+
+        dag = ExperimentDAG()
+        dag.add(Stage("slow", slow_ok))
+        dag.add(Stage("bad", boom))
+        with pytest.raises(RuntimeError, match="bad"):
+            dag.run(cache, jobs=2, log=lambda _m: None)
+        keys = dag.compute_keys()
+        assert cache.has("slow", keys["slow"])
+        assert cache.load("slow", keys["slow"]) == "ok"
+
+
+# --------------------------------------------------------------------------- #
+# the paper pipeline, end to end on a micro profile
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def micro_profile():
+    return dataclasses.replace(
+        PROFILES["smoke"],
+        name="smoke",  # keep the registered name; only the scale shrinks
+        num_sd_pairs=6,
+        trajectories_per_pair=6,
+        num_ood_trajectories=16,
+        max_length=40,
+        embedding_dim=8,
+        hidden_dim=8,
+        latent_dim=4,
+        epochs=2,
+        detectors=("iBOAT", "VSAE", "CausalTAD"),
+        sweep_detectors=("VSAE", "CausalTAD"),
+        scalability_detectors=("CausalTAD",),
+        alphas=(0.0, 1.0),
+        observed_ratios=(0.5, 1.0),
+        lambdas=(0.0, 0.1),
+        train_fractions=(0.5, 1.0),
+        fig7_max_trajectories=10,
+    )
+
+
+@pytest.fixture(scope="module")
+def micro_run(micro_profile, tmp_path_factory):
+    cache = ArtifactCache(tmp_path_factory.mktemp("artifacts"))
+    dag = build_pipeline(micro_profile)
+    summary = dag.run(cache, jobs=2, log=lambda _m: None)
+    return micro_profile, cache, dag, summary
+
+
+class TestPipeline:
+    def test_first_run_executes_everything(self, micro_run):
+        _, _, dag, summary = micro_run
+        assert summary.num_ran == len(dag)
+
+    def test_report_contains_all_sections(self, micro_run):
+        profile, cache, dag, _ = micro_run
+        keys = dag.compute_keys()
+        report = cache.load("render/report", keys["render/report"])
+        for heading in ("Table 1", "Table 2", "Table 3", "Figure 4", "Figure 5",
+                        "Figure 6", "Figure 7(a)", "Figure 7(b)", "Figure 8"):
+            assert heading in report, f"missing section {heading}"
+        assert "Generated file — do not edit" in report
+        # Populated data, not placeholders: detector rows appear in tables.
+        for detector in profile.detectors:
+            assert detector in report
+
+    def test_second_run_is_all_cache_hits(self, micro_run):
+        profile, cache, _, _ = micro_run
+        summary = build_pipeline(profile).run(cache, jobs=2, log=lambda _m: None)
+        assert summary.num_ran == 0
+        assert summary.num_cached == len(build_pipeline(profile))
+
+    def test_render_report_from_cache(self, micro_run):
+        profile, cache, dag, _ = micro_run
+        keys = dag.compute_keys()
+        assert render_report_from_cache(profile, cache) == cache.load(
+            "render/report", keys["render/report"]
+        )
+
+    def test_render_from_cold_cache_raises(self, micro_profile, tmp_path):
+        cache = ArtifactCache(tmp_path / "cold")
+        with pytest.raises(RuntimeError, match="repro run"):
+            render_report_from_cache(micro_profile, cache)
+
+    def test_training_checkpoints_written(self, micro_run):
+        _, cache, _, _ = micro_run
+        checkpoints = list((cache.root / "checkpoints").rglob("train.npz"))
+        # iBOAT has no trainable parameters; every other detector checkpoints.
+        assert len(checkpoints) >= 2
+
+    def test_trained_artifacts_score_deterministically(self, micro_run):
+        profile, cache, dag, _ = micro_run
+        keys = dag.compute_keys()
+        data = cache.load("dataset", keys["dataset"])
+        first = cache.load("train/CausalTAD", keys["train/CausalTAD"])
+        second = cache.load("train/CausalTAD", keys["train/CausalTAD"])
+        np.testing.assert_array_equal(
+            first.score(data.id_detour), second.score(data.id_detour)
+        )
+
+
+class TestProfiles:
+    def test_get_profile_overrides_seed(self):
+        assert get_profile("smoke", seed=123).seed == 123
+        assert get_profile("smoke").seed == PROFILES["smoke"].seed
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError):
+            get_profile("nope")
+
+    def test_all_trained_detectors_includes_ablations(self):
+        names = PROFILES["smoke"].all_trained_detectors()
+        for required in ("CausalTAD", "TG-VAE", "RP-VAE"):
+            assert required in names

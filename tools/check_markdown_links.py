@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Check intra-repo Markdown links (files and heading anchors).
+
+Scans every tracked ``*.md`` file at the repo root and under ``docs/`` for
+inline links ``[text](target)`` and verifies that
+
+* relative file targets exist (resolved against the linking file), and
+* ``#anchor`` fragments pointing into a Markdown file match one of its
+  headings (GitHub slug rules: lowercase, punctuation stripped, spaces to
+  hyphens).
+
+External links (``http(s)://``, ``mailto:``) are ignored — CI must not
+depend on the network.  Exit code 1 and a per-link report on failure; used
+by the CI ``docs`` job.
+
+Usage::
+
+    python tools/check_markdown_links.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    text = heading.strip()
+    text = re.sub(r"`([^`]*)`", r"\1", text)           # drop code formatting
+    text = re.sub(r"\*", "", text)                      # drop emphasis markers
+    # (underscores survive in GitHub slugs, so they are kept)
+    text = text.lower()
+    text = re.sub(r"[^\w\s-]", "", text)                # strip punctuation
+    return re.sub(r"\s+", "-", text).strip("-")
+
+
+def heading_slugs(markdown: str) -> List[str]:
+    slugs: List[str] = []
+    without_fences = CODE_FENCE_RE.sub("", markdown)
+    for match in HEADING_RE.finditer(without_fences):
+        slug = github_slug(match.group(1))
+        # GitHub de-duplicates repeated headings with -1, -2, ... suffixes.
+        if slug in slugs:
+            suffix = 1
+            while f"{slug}-{suffix}" in slugs:
+                suffix += 1
+            slug = f"{slug}-{suffix}"
+        slugs.append(slug)
+    return slugs
+
+
+def iter_markdown_files(root: Path) -> List[Path]:
+    files = sorted(root.glob("*.md")) + sorted((root / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def check_file(path: Path, root: Path) -> List[str]:
+    errors: List[str] = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(CODE_FENCE_RE.sub("", text)):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(root)}: broken link -> {target}")
+                continue
+        else:
+            resolved = path.resolve()
+        if anchor and resolved.suffix == ".md":
+            slugs = heading_slugs(resolved.read_text(encoding="utf-8"))
+            if anchor not in slugs:
+                errors.append(
+                    f"{path.relative_to(root)}: missing anchor -> {target}"
+                )
+    return errors
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]).resolve() if argv else Path(__file__).resolve().parent.parent
+    files = iter_markdown_files(root)
+    errors: List[str] = []
+    for path in files:
+        errors.extend(check_file(path, root))
+    if errors:
+        print(f"{len(errors)} broken Markdown link(s):")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(f"checked {len(files)} Markdown files — all intra-repo links OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
