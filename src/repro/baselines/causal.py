@@ -14,13 +14,14 @@ These adapters wrap the core model so it slots into the same harness:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.baselines.base import DetectorConfig, TrajectoryAnomalyDetector
 from repro.core.causal_tad import CausalTAD
 from repro.core.config import CausalTADConfig
+from repro.core.inference import ScoreDecomposition
 from repro.core.trainer import Trainer
 from repro.roadnet.network import RoadNetwork
 from repro.trajectory.dataset import TrajectoryDataset
@@ -85,7 +86,7 @@ class CausalTADDetector(TrajectoryAnomalyDetector):
 
     def score(self, dataset: TrajectoryDataset) -> np.ndarray:
         self._require_fitted()
-        return self.model.score_dataset(dataset, batch_size=self.config.training.batch_size)
+        return self.model.score_dataset(dataset)
 
     def score_trajectory(self, trajectory: MapMatchedTrajectory) -> float:
         self._require_fitted()
@@ -94,9 +95,29 @@ class CausalTADDetector(TrajectoryAnomalyDetector):
     def score_with_lambda(self, dataset: TrajectoryDataset, lambda_weight: float) -> np.ndarray:
         """Re-score with a different λ without retraining (Fig. 8 sweep)."""
         self._require_fitted()
-        return self.model.score_dataset(
-            dataset, batch_size=self.config.training.batch_size, lambda_weight=lambda_weight
-        )
+        return self.model.score_dataset(dataset, lambda_weight=lambda_weight)
+
+    def score_decomposition(self, dataset: TrajectoryDataset) -> ScoreDecomposition:
+        """One engine pass over the dataset, returned as its decomposition.
+
+        Every score the detector can produce — full Eq. 10, the TG-VAE-only
+        ablation, per-step breakdowns and any λ re-weighting — composes from
+        this single forward pass.
+        """
+        self._require_fitted()
+        return self.model.score_decomposition(dataset)
+
+    def score_with_lambdas(
+        self, dataset: TrajectoryDataset, lambdas: Sequence[float]
+    ) -> np.ndarray:
+        """Scores for a whole λ grid — the dataset is forwarded exactly once.
+
+        Returns ``(len(lambdas), len(dataset))``; row ``j`` equals
+        ``score_with_lambda(dataset, lambdas[j])``.  This is the Fig. 8 sweep
+        reduced to one model pass plus a vectorized outer product.
+        """
+        self._require_fitted()
+        return self.model.lambda_sweep_scores(dataset, lambdas)
 
 
 class TGVAEOnlyDetector(CausalTADDetector):
@@ -106,9 +127,7 @@ class TGVAEOnlyDetector(CausalTADDetector):
 
     def score(self, dataset: TrajectoryDataset) -> np.ndarray:
         self._require_fitted()
-        return self.model.score_dataset(
-            dataset, batch_size=self.config.training.batch_size, use_scaling=False
-        )
+        return self.model.score_dataset(dataset, use_scaling=False)
 
     def score_trajectory(self, trajectory: MapMatchedTrajectory) -> float:
         self._require_fitted()
@@ -168,13 +187,16 @@ class RPVAEOnlyDetector(TrajectoryAnomalyDetector):
         self._require_fitted()
         from repro.nn import no_grad
 
+        was_training = self.model.training
         self.model.eval()
-        scores = np.empty(len(dataset), dtype=np.float64)
-        cursor = 0
-        with no_grad():
-            for batch in dataset.iter_batches(self.config.training.batch_size, shuffle=False):
-                output = self.model(batch)
-                scores[cursor : cursor + len(output.per_trajectory_nll)] = output.per_trajectory_nll
-                cursor += len(output.per_trajectory_nll)
-        self.model.train()
+        try:
+            scores = np.empty(len(dataset), dtype=np.float64)
+            cursor = 0
+            with no_grad():
+                for batch in dataset.iter_batches(self.config.training.batch_size, shuffle=False):
+                    output = self.model(batch)
+                    scores[cursor : cursor + len(output.per_trajectory_nll)] = output.per_trajectory_nll
+                    cursor += len(output.per_trajectory_nll)
+        finally:
+            self.model.train(was_training)
         return scores

@@ -5,6 +5,15 @@ training loop, and the online detector with O(1) per-segment score updates.
 """
 
 from repro.core.config import CausalTADConfig, TrainingConfig
+from repro.core.inference import (
+    EngineStats,
+    InferenceEngine,
+    ScoreDecomposition,
+    Seq2SeqInferenceEngine,
+    gather_log_softmax,
+    resolve_engine,
+    successor_log_softmax_nll,
+)
 from repro.core.tg_vae import TGVAE, TGVAEOutput
 from repro.core.rp_vae import RPVAE, RPVAEOutput
 from repro.core.causal_tad import CausalTAD, CausalTADLoss, SegmentScoreBreakdown
@@ -35,4 +44,11 @@ __all__ = [
     "advance_sessions",
     "init_session_states",
     "validate_segment_ids",
+    "InferenceEngine",
+    "Seq2SeqInferenceEngine",
+    "ScoreDecomposition",
+    "EngineStats",
+    "gather_log_softmax",
+    "successor_log_softmax_nll",
+    "resolve_engine",
 ]

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.config import CausalTADConfig
+from repro.core.inference import InferenceEngine, ScoreDecomposition, resolve_engine
 from repro.core.rp_vae import RPVAE
 from repro.core.tg_vae import TGVAE
 from repro.nn import Module, Tensor, no_grad
@@ -68,6 +69,11 @@ class SegmentScoreBreakdown:
     likelihood_scores: np.ndarray
     scaling_scores: np.ndarray
     debiased_scores: np.ndarray
+    #: The trajectory's full anomaly score (Eq. 10): the per-segment debiased
+    #: scores plus the SD-reconstruction and KL terms the per-step breakdown
+    #: cannot attribute to individual segments.  Computed from the same
+    #: forward pass as the breakdown — no extra model evaluation.
+    total_score: float = 0.0
 
 
 class CausalTAD(Module):
@@ -86,6 +92,7 @@ class CausalTAD(Module):
         self.rp_vae = RPVAE(config, rng=rng)
         self._road_graph = None
         self._transition_mask: Optional[np.ndarray] = None
+        self._engine: Optional[InferenceEngine] = None
         if network is not None:
             self.attach_network(network)
 
@@ -148,20 +155,39 @@ class CausalTAD(Module):
     # ------------------------------------------------------------------ #
     # scoring (Eq. 10)
     # ------------------------------------------------------------------ #
+    def inference_engine(self) -> InferenceEngine:
+        """The model's graph-free batched scorer (built lazily, then reused).
+
+        The engine reads parameters at call time, so it stays valid across
+        in-place optimiser updates and ``load_state_dict``.
+        """
+        if self._engine is None:
+            self._engine = InferenceEngine(self)
+        return self._engine
+
     def score_batch(
         self,
         batch: EncodedBatch,
         lambda_weight: Optional[float] = None,
         use_scaling: bool = True,
+        engine: Optional[str] = None,
     ) -> np.ndarray:
         """Debiased anomaly scores for a batch (higher = more anomalous).
 
         ``lambda_weight`` overrides the configured λ (the Fig. 8 sweep re-scores
         the same trained model with different λ without retraining);
         ``use_scaling=False`` drops the RP-VAE term entirely (the TG-VAE
-        ablation of Table III).
+        ablation of Table III).  ``engine`` selects the scorer: ``"numpy"``
+        (default) is the graph-free batched engine, ``"graph"`` the autograd
+        Tensor path kept as the parity reference.
         """
         lam = self.config.lambda_weight if lambda_weight is None else lambda_weight
+        if resolve_engine(engine) == "numpy":
+            include_scaling = use_scaling and lam != 0.0
+            decomposition = self.inference_engine().decompose_batch(
+                batch, include_scaling=include_scaling
+            )
+            return decomposition.scores(lam, use_scaling=use_scaling)
         was_training = self.training
         self.eval()
         try:
@@ -189,28 +215,92 @@ class CausalTAD(Module):
     def score_dataset(
         self,
         dataset: TrajectoryDataset,
-        batch_size: int = 64,
+        batch_size: Optional[int] = None,
         lambda_weight: Optional[float] = None,
         use_scaling: bool = True,
+        engine: Optional[str] = None,
     ) -> np.ndarray:
-        """Scores for every trajectory of a dataset (in dataset order)."""
+        """Scores for every trajectory of a dataset (in dataset order).
+
+        The default ``"numpy"`` engine scores in length-bucketed batches
+        through reusable workspaces (``batch_size=None`` lets it pack batches
+        to its position budget); ``engine="graph"`` runs the historical
+        per-batch Tensor path (parity reference, batch size 64 by default).
+        """
+        lam = self.config.lambda_weight if lambda_weight is None else lambda_weight
+        if resolve_engine(engine) == "numpy":
+            include_scaling = use_scaling and lam != 0.0
+            decomposition = self.inference_engine().decompose_dataset(
+                dataset, batch_size=batch_size, include_scaling=include_scaling
+            )
+            return decomposition.scores(lam, use_scaling=use_scaling)
         scores = np.empty(len(dataset), dtype=np.float64)
         cursor = 0
-        for batch in dataset.iter_batches(batch_size, shuffle=False):
-            batch_scores = self.score_batch(batch, lambda_weight=lambda_weight, use_scaling=use_scaling)
+        for batch in dataset.iter_batches(batch_size or 64, shuffle=False):
+            batch_scores = self.score_batch(
+                batch, lambda_weight=lambda_weight, use_scaling=use_scaling, engine="graph"
+            )
             scores[cursor : cursor + len(batch_scores)] = batch_scores
             cursor += len(batch_scores)
         return scores
+
+    def score_decomposition(
+        self,
+        dataset: TrajectoryDataset,
+        batch_size: Optional[int] = None,
+        include_scaling: bool = True,
+    ) -> ScoreDecomposition:
+        """One engine pass over a dataset, returned as its score decomposition.
+
+        The decomposition carries every reusable piece of Eq. 10 — likelihood
+        components, per-step log-probabilities and per-trajectory scaling sums
+        — so ablations, per-segment breakdowns and λ sweeps compose from it
+        without re-running the model.
+        """
+        return self.inference_engine().decompose_dataset(
+            dataset, batch_size=batch_size, include_scaling=include_scaling
+        )
+
+    def lambda_sweep_scores(
+        self,
+        dataset: TrajectoryDataset,
+        lambdas: Sequence[float],
+        batch_size: Optional[int] = None,
+        engine: Optional[str] = None,
+    ) -> np.ndarray:
+        """Scores for a whole λ grid, shape ``(len(lambdas), len(dataset))``.
+
+        With the default ``"numpy"`` engine the dataset is scored **once** and
+        the grid is evaluated as the vectorized ``likelihood − λ ⊗ scaling``
+        outer product (Fig. 8 at O(1) model forwards per grid point);
+        ``engine="graph"`` re-runs the Tensor path per λ as the reference.
+        """
+        if resolve_engine(engine) == "numpy":
+            decomposition = self.score_decomposition(dataset, batch_size=batch_size)
+            return decomposition.lambda_sweep(lambdas)
+        return np.stack(
+            [
+                self.score_dataset(
+                    dataset, batch_size=batch_size, lambda_weight=lam, engine="graph"
+                )
+                for lam in lambdas
+            ]
+        )
 
     def score_trajectory(
         self,
         trajectory: MapMatchedTrajectory,
         lambda_weight: Optional[float] = None,
         use_scaling: bool = True,
+        engine: Optional[str] = None,
     ) -> float:
         """Score a single trajectory."""
         batch = encode_batch([trajectory], self.config.num_segments)
-        return float(self.score_batch(batch, lambda_weight=lambda_weight, use_scaling=use_scaling)[0])
+        return float(
+            self.score_batch(
+                batch, lambda_weight=lambda_weight, use_scaling=use_scaling, engine=engine
+            )[0]
+        )
 
     def _sum_scaling(self, batch: EncodedBatch, scaling: np.ndarray) -> np.ndarray:
         """Σ_i log E[1/P(t_i|e_i)] per trajectory, over valid segments."""
@@ -227,18 +317,35 @@ class CausalTAD(Module):
         self,
         trajectory: MapMatchedTrajectory,
         lambda_weight: Optional[float] = None,
+        engine: Optional[str] = None,
     ) -> SegmentScoreBreakdown:
-        """Decompose a trajectory's score into per-segment contributions."""
+        """Decompose a trajectory's score into per-segment contributions.
+
+        One model evaluation supplies both the per-segment breakdown and the
+        trajectory's ``total_score`` — consumers (Fig. 4) no longer re-score
+        the trajectory to report its total.
+        """
         lam = self.config.lambda_weight if lambda_weight is None else lambda_weight
         batch = encode_batch([trajectory], self.config.num_segments)
-        was_training = self.training
-        self.eval()
-        try:
-            with no_grad():
-                step_scores = self.tg_vae.step_scores(batch, self._road_constraint())[0]
-                scaling = self.scaling_factors()
-        finally:
-            self.train(was_training)
+        if resolve_engine(engine) == "numpy":
+            decomposition = self.inference_engine().decompose_batch(batch)
+            step_scores = decomposition.step_scores()[0]
+            scaling = self.scaling_factors()
+            total = float(decomposition.scores(lam)[0])
+        else:
+            was_training = self.training
+            self.eval()
+            try:
+                with no_grad():
+                    output = self.tg_vae(
+                        batch, self._road_constraint(), deterministic_latent=True
+                    )
+                    scaling = self.scaling_factors()
+            finally:
+                self.train(was_training)
+            step_scores = -output.step_log_probs[0]
+            likelihood = float(output.trajectory_nll[0] + output.sd_nll[0] + output.kl[0])
+            total = likelihood - lam * float(self._sum_scaling(batch, scaling)[0])
         target_segments = np.asarray(trajectory.segments[1:], dtype=np.int64)
         likelihood_scores = step_scores[: len(target_segments)]
         scaling_scores = scaling[target_segments]
@@ -248,4 +355,5 @@ class CausalTAD(Module):
             likelihood_scores=likelihood_scores,
             scaling_scores=scaling_scores,
             debiased_scores=debiased,
+            total_score=total,
         )

@@ -14,10 +14,13 @@ operations, both of which vectorize cleanly over a batch of concurrent rides:
 :class:`~repro.serving.FleetEngine` calls them with one row per pending ride,
 turning thousands of per-ride Python steps into a handful of matrix ops.  The
 hot :func:`advance_sessions` path works on raw numpy arrays (via
-:meth:`GRUCell.step <repro.nn.GRUCell.step>` and numpy mirrors of the softmax
-helpers) so serving never builds throw-away autograd graphs; the mirrors
-reproduce the Tensor ops operation-for-operation, keeping online, fleet and
-offline scores in exact agreement.
+:meth:`GRUCell.step <repro.nn.GRUCell.step>` and the shared softmax mirrors
+:func:`~repro.core.inference.gather_log_softmax` /
+:func:`~repro.core.inference.successor_log_softmax_nll`) so serving never
+builds throw-away autograd graphs; the mirrors live in
+:mod:`repro.core.inference` — the offline batched engine — and reproduce the
+Tensor ops operation-for-operation, keeping online, fleet and offline scores
+in exact agreement.
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.causal_tad import CausalTAD
+from repro.core.inference import gather_log_softmax, successor_log_softmax_nll
 from repro.nn import NEG_INF, log_softmax, no_grad
 
 __all__ = [
@@ -136,22 +140,20 @@ def advance_sessions(
     if config.road_constrained and getattr(model, "road_graph", None) is not None:
         # Sparse road-constrained step: normalise over each ride's successor
         # set only — O(out-degree) gathered columns instead of masking and
-        # exponentiating the full (batch, vocab) row.  The arithmetic mirrors
-        # ``fused_successor_nll`` operation-for-operation, so serving scores
-        # match the offline fused scorer bit-for-bit.
+        # exponentiating the full (batch, vocab) row.  The arithmetic
+        # (``successor_log_softmax_nll``, shared with the offline inference
+        # engine) mirrors ``fused_successor_nll`` operation-for-operation, so
+        # serving scores match the offline scorers bit-for-bit.
         succ_idx, succ_valid = model.road_graph.successor_tables()
         cand_idx = succ_idx[previous_segments]
         cand_valid = succ_valid[previous_segments]
         if not cand_valid.any(axis=-1).all():
             raise ValueError("masked_log_softmax requires at least one allowed position per row")
         cand = np.take_along_axis(logits, cand_idx, axis=-1)
-        shift = np.max(cand, axis=-1, keepdims=True, where=cand_valid, initial=NEG_INF)
-        exp_shifted = np.exp(np.minimum(cand - shift, 0.0))
-        exp_shifted *= cand_valid
-        log_z = np.log(exp_shifted.sum(axis=-1, keepdims=True))
         allowed_next = ((cand_idx == next_segments[:, None]) & cand_valid).any(axis=-1)
-        picked = np.where(allowed_next, logits[rows, next_segments], NEG_INF)[:, None]
-        step_likelihoods = (log_z - (picked - shift))[:, 0]
+        step_likelihoods = successor_log_softmax_nll(
+            cand, cand_valid, logits[rows, next_segments], allowed_next
+        )
         return new_hidden, step_likelihoods
     if config.road_constrained and model.transition_mask is not None:
         # Dense-mask compatibility path (model constrained by an explicit
@@ -163,17 +165,5 @@ def advance_sessions(
             raise ValueError("masked_log_softmax requires at least one allowed position per row")
         # ``logits`` is freshly allocated above, so masking in place is safe.
         np.copyto(logits, NEG_INF, where=~allowed)
-    step_likelihoods = -_gather_log_softmax_np(logits, rows, next_segments)
+    step_likelihoods = -gather_log_softmax(logits, rows, next_segments)
     return new_hidden, step_likelihoods
-
-
-def _gather_log_softmax_np(logits: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
-    """``log_softmax(logits)[rows, cols]`` without materialising the matrix.
-
-    Same arithmetic as :func:`repro.nn.log_softmax` (max-shift, exp-sum, log)
-    but only the gathered entries are computed, saving two full-width
-    (batch, vocab) array writes on the serving hot path.
-    """
-    maxima = logits.max(axis=-1)
-    sums = np.exp(logits - maxima[:, None]).sum(axis=-1)
-    return (logits[rows, cols] - maxima) - np.log(sums)

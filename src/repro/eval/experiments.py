@@ -268,9 +268,11 @@ def score_breakdown(
         )
         trajectory = normals[int(np.argmax(baseline_scores))]
 
+    # One decomposition supplies both the per-segment breakdown and the
+    # trajectory's total score — the model is evaluated once, not twice.
     breakdown = causal_detector.model.segment_score_breakdown(trajectory)
     baseline_total = float(baseline_detector.score_trajectory(trajectory))
-    causal_total = float(causal_detector.score_trajectory(trajectory))
+    causal_total = float(breakdown.total_score)
 
     # Per-segment baseline scores: the TG-VAE-equivalent likelihood term is the
     # closest per-segment decomposition a Seq2Seq baseline admits; detectors
@@ -430,13 +432,31 @@ def run_lambda_sweep(
     """Fig. 8: metrics of the *same trained model* re-scored with different λ.
 
     The detector must already be fitted; no retraining happens because λ only
-    enters at scoring time (Eq. 10).
+    enters at scoring time (Eq. 10).  Each dataset combination is forwarded
+    through the model **once** (``score_with_lambdas`` decomposes the score
+    into likelihood and scaling terms); the whole λ grid is then evaluated as
+    a vectorized ``likelihood − λ ⊗ scaling`` outer product, so the sweep's
+    model cost is independent of the grid size.
     """
+    lambda_grid = list(lambdas)
+    grid_scores: Dict[Tuple[str, str], np.ndarray] = {}
+    grid_labels: Dict[Tuple[str, str], np.ndarray] = {}
+    for distribution, anomaly in combinations:
+        dataset = data.combination(distribution, anomaly)
+        if hasattr(causal_detector, "score_with_lambdas"):
+            scores = causal_detector.score_with_lambdas(dataset, lambda_grid)
+        else:  # pragma: no cover - detectors outside CausalTADDetector
+            scores = np.stack(
+                [causal_detector.score_with_lambda(dataset, lam) for lam in lambda_grid]
+            )
+        grid_scores[(distribution, anomaly)] = scores
+        grid_labels[(distribution, anomaly)] = dataset.labels
     sweep = SweepResult(name="lambda-sweep", parameter_name="lambda")
-    for lam in lambdas:
+    for index, lam in enumerate(lambda_grid):
         for distribution, anomaly in combinations:
-            dataset = data.combination(distribution, anomaly)
-            scores = causal_detector.score_with_lambda(dataset, lam)
-            metrics = evaluate_scores(scores, dataset.labels)
+            metrics = evaluate_scores(
+                grid_scores[(distribution, anomaly)][index],
+                grid_labels[(distribution, anomaly)],
+            )
             sweep.add_point(f"{distribution}-{anomaly}", lam, metrics)
     return sweep

@@ -301,6 +301,9 @@ def build_pipeline(profile: ExperimentProfile) -> ExperimentDAG:
                           "observed_ratios": profile.observed_ratios}))
 
     def _fig8(ctx: StageContext):
+        # One inference-engine pass per dataset combination; the whole λ grid
+        # is composed from that decomposition (see run_lambda_sweep), so the
+        # stage's cost no longer scales with len(profile.lambdas).
         data = ctx.input("dataset")
         return run_lambda_sweep(data, ctx.input("train/CausalTAD"), lambdas=profile.lambdas)
 
