@@ -31,16 +31,27 @@ BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
 #: When set, benchmarks drop their timing JSON here (CI uploads it as an artifact).
 BENCH_ARTIFACTS = os.environ.get("REPRO_BENCH_ARTIFACTS", "")
+#: Allowed relative regression against a committed ``BENCH_<area>.json``
+#: baseline before a gate fires.  Baselines record speedup *ratios* (machine
+#: speed divides out), but ratios still jitter across runs and hosts, so the
+#: default is deliberately loose; ``tools/update_bench_baselines.py --check``
+#: uses the same tolerance.
+BENCH_BASELINE_TOLERANCE = float(os.environ.get("REPRO_BENCH_BASELINE_TOLERANCE", "0.25"))
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 __all__ = [
     "BENCH_SCALE",
     "BENCH_SEED",
     "BENCH_ARTIFACTS",
+    "BENCH_BASELINE_TOLERANCE",
     "benchmark_config",
     "training_config",
     "detector_config_for",
     "build_suite",
     "write_timing_artifact",
+    "load_bench_baseline",
+    "baseline_floor",
 ]
 
 
@@ -56,6 +67,34 @@ def write_timing_artifact(name: str, payload: Dict[str, Any]) -> None:
     path = os.path.join(BENCH_ARTIFACTS, f"{name}.json")
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
+
+
+def load_bench_baseline(area: str) -> Dict[str, Any]:
+    """The committed ``BENCH_<area>.json`` baseline (empty dict when absent).
+
+    Baselines live at the repository root and are refreshed by
+    ``tools/update_bench_baselines.py`` from the timing artifacts the
+    benchmarks write — together they form the committed perf trajectory.
+    """
+    path = os.path.join(_REPO_ROOT, f"BENCH_{area}.json")
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def baseline_floor(area: str, metric: str, fixed_floor: float) -> float:
+    """The gate for ``metric``: committed baseline minus tolerance, floored.
+
+    Returns ``max(fixed_floor, recorded * (1 - BENCH_BASELINE_TOLERANCE))`` —
+    the fixed floor is the never-regress-below contract, the baseline term
+    ratchets the gate up as committed performance improves.  Falls back to
+    ``fixed_floor`` when no baseline (or no such metric) is committed.
+    """
+    recorded = load_bench_baseline(area).get("metrics", {}).get(metric)
+    if recorded is None:
+        return fixed_floor
+    return max(fixed_floor, float(recorded) * (1.0 - BENCH_BASELINE_TOLERANCE))
 
 
 def benchmark_config() -> BenchmarkConfig:

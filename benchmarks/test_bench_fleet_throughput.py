@@ -15,7 +15,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.support import BENCH_SCALE, BENCH_SEED, write_timing_artifact
+from benchmarks.support import (
+    BENCH_SCALE,
+    BENCH_SEED,
+    baseline_floor,
+    write_timing_artifact,
+)
 from repro.core import CausalTAD, CausalTADConfig, OnlineDetector
 from repro.serving import FleetEngine, replay_trajectories
 from repro.utils import RandomState
@@ -145,9 +150,10 @@ def test_bench_fleet_throughput(xian_data):
     )
 
     assert summary.telemetry["segments_processed"] == total_segments
-    assert speedup >= MIN_SPEEDUP, (
+    floor = baseline_floor("fleet", "speedup", MIN_SPEEDUP)
+    assert speedup >= floor, (
         f"batched fleet engine only {speedup:.1f}x faster than the per-ride "
-        f"loop (required {MIN_SPEEDUP}x)"
+        f"loop (required {floor:.1f}x)"
     )
 
 

@@ -26,6 +26,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro import obs
 from repro.experiments.cache import ArtifactCache
 from repro.experiments.pipeline import build_pipeline, render_report_from_cache
 from repro.experiments.profiles import PROFILES, get_profile
@@ -33,6 +34,11 @@ from repro.experiments.profiles import PROFILES, get_profile
 __all__ = ["main", "build_parser"]
 
 _DEFAULT_REPORT = Path("docs") / "REPORT.md"
+
+#: Sentinel for ``--trace`` / ``--metrics`` given without a path (argparse
+#: ``const`` skips ``type=`` conversion, so identity-checking this is safe);
+#: resolved to a default file under ``--artifacts`` at run time.
+_AUTO_PATH = Path("<artifacts>")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,6 +78,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--jobs", type=int, default=4, help="parallel stage workers (default: 4)")
     run.add_argument("--force", action="store_true", help="re-execute every stage")
+    run.add_argument(
+        "--trace",
+        type=Path,
+        nargs="?",
+        const=_AUTO_PATH,
+        default=None,
+        metavar="PATH",
+        help="enable span tracing and write a Chrome trace-event JSON "
+        "(default path: <artifacts>/trace.json; open in https://ui.perfetto.dev)",
+    )
+    run.add_argument(
+        "--metrics",
+        type=Path,
+        nargs="?",
+        const=_AUTO_PATH,
+        default=None,
+        metavar="PATH",
+        help="enable the metrics registry and write a JSON snapshot plus a "
+        "Prometheus textfile next to it (default path: <artifacts>/metrics.json)",
+    )
 
     report = subparsers.add_parser("report", help="re-render the report from cached artifacts")
     add_common(report)
@@ -104,13 +130,87 @@ def _write_report(report_markdown: str, path: Path, log) -> None:
     log(f"report written to {path}")
 
 
+def _observability_section(summary, trace_path: Optional[Path], metrics_path: Optional[Path]) -> str:
+    """The report's Observability section (appended outside the cached render).
+
+    Built at the CLI layer on purpose: stage outputs are content-addressed, so
+    folding run-specific telemetry into the cached ``render/report`` artifact
+    would poison warm re-runs (the CI docs job pins "0 executed" purity).
+    """
+    lines = [
+        "",
+        "## Observability",
+        "",
+        "Stage outcomes of the `repro run` invocation that wrote this report:",
+        "",
+        "```text",
+        summary.format_summary(),
+        "```",
+    ]
+    registry = obs.metrics()
+    if registry.enabled and registry.names():
+        lines += [
+            "",
+            "Metrics recorded by the run (see `docs/OBSERVABILITY.md` for the catalog):",
+            "",
+            "| metric | type | value |",
+            "|---|---|---|",
+        ]
+        for name, instrument in registry.items():
+            if isinstance(instrument, obs.Histogram):
+                value = (
+                    f"n={instrument.count}, mean {instrument.mean:.4g}, "
+                    f"p95 {instrument.p95:.4g}"
+                )
+            else:
+                value = f"{instrument.value:.6g}"
+            lines.append(f"| `{name}` | {type(instrument).__name__.lower()} | {value} |")
+    artifacts = []
+    if metrics_path is not None:
+        artifacts.append(
+            f"metrics snapshot `{metrics_path}` "
+            f"(+ Prometheus textfile `{metrics_path.with_suffix('.prom')}`)"
+        )
+    if trace_path is not None:
+        artifacts.append(
+            f"span trace `{trace_path}` — open in [Perfetto](https://ui.perfetto.dev)"
+        )
+    lines.append("")
+    if artifacts:
+        lines.append("Exported artifacts: " + "; ".join(artifacts) + ".")
+    else:
+        lines.append(
+            "Re-run with `--trace` / `--metrics` to export a Chrome trace and a "
+            "metrics snapshot alongside this report."
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
 def _cmd_run(args: argparse.Namespace, log) -> int:
     profile = _resolve_profile(args)
     cache = _make_cache(args)
+    trace_path = args.artifacts / "trace.json" if args.trace == _AUTO_PATH else args.trace
+    metrics_path = (
+        args.artifacts / "metrics.json" if args.metrics == _AUTO_PATH else args.metrics
+    )
+    obs.enable(metrics=metrics_path is not None, tracing=trace_path is not None)
     dag = build_pipeline(profile)
-    summary = dag.run(cache, jobs=args.jobs, force=args.force, log=log)
+    with obs.span("cli/run", profile=profile.name):
+        summary = dag.run(cache, jobs=args.jobs, force=args.force, log=log)
     keys = dag.compute_keys()
-    _write_report(cache.load("render/report", keys["render/report"]), args.report, log)
+    report_markdown = cache.load("render/report", keys["render/report"])
+    report_markdown += _observability_section(summary, trace_path, metrics_path)
+    _write_report(report_markdown, args.report, log)
+    if metrics_path is not None:
+        obs.write_metrics_json(obs.metrics(), metrics_path)
+        prom_path = obs.write_prometheus_textfile(
+            obs.metrics(), metrics_path.with_suffix(".prom")
+        )
+        log(f"metrics snapshot written to {metrics_path} (+ {prom_path})")
+    if trace_path is not None:
+        obs.write_trace_json(obs.tracer(), trace_path)
+        log(f"trace written to {trace_path} ({len(obs.tracer().spans)} spans)")
     log("")
     log(summary.format_summary())
     return 0

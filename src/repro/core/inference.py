@@ -43,11 +43,13 @@ the speedup.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.nn.functional import NEG_INF
 from repro.nn.fused import _sigmoid_into
 from repro.nn.layers import Activation, Dropout, Linear, MLP
@@ -152,17 +154,26 @@ class Workspace:
     (at the largest bucket) instead of once per batch.  Views are only valid
     until the next ``take`` of the same name; callers must copy anything that
     outlives the batch.
+
+    ``takes`` / ``allocs`` count lifetime requests vs actual allocations (two
+    plain int increments, no registry involvement); the reuse ratio they imply
+    is published as ``inference/workspace_*`` gauges after each dataset pass
+    when observability is enabled.
     """
 
     def __init__(self) -> None:
         self._buffers: Dict[str, np.ndarray] = {}
+        self.takes = 0
+        self.allocs = 0
 
     def take(self, name: str, shape: Tuple[int, ...]) -> np.ndarray:
         size = 1
         for dim in shape:
             size *= int(dim)
+        self.takes += 1
         buffer = self._buffers.get(name)
         if buffer is None or buffer.size < size:
+            self.allocs += 1
             buffer = np.empty(size, dtype=np.float64)
             self._buffers[name] = buffer
         return buffer[:size].reshape(shape)
@@ -179,6 +190,8 @@ class Workspace:
 
     def __setstate__(self, state: dict) -> None:
         self._buffers = {}
+        self.takes = 0
+        self.allocs = 0
 
 
 # --------------------------------------------------------------------------- #
@@ -425,6 +438,46 @@ class EngineStats:
         self.trajectories_scored = 0
 
 
+def _inference_instruments():
+    """Handles for the ``inference/`` metrics, or None when obs is disabled.
+
+    Resolved once per dataset pass; the per-batch path costs a dict lookup and
+    a few O(1) instrument updates, and nothing at all when the registry is
+    disabled (see ``benchmarks/test_bench_obs_overhead.py``).
+    """
+    registry = obs.metrics()
+    if not registry.enabled:
+        return None
+    scope = registry.scope("inference")
+    return {
+        "batches": scope.counter("batches"),
+        "trajectories": scope.counter("trajectories"),
+        "batch_seconds": scope.histogram("batch_seconds"),
+        "batch_rows": scope.histogram("batch_rows"),
+        "batch_fill": scope.histogram("batch_fill"),
+        "workspace_takes": scope.gauge("workspace_takes"),
+        "workspace_allocs": scope.gauge("workspace_allocs"),
+    }
+
+
+def _record_batch(ins, batch: EncodedBatch, seconds: float) -> None:
+    """Record one scored batch: latency, width and packing efficiency."""
+    ins["batches"].inc()
+    ins["trajectories"].inc(batch.batch_size)
+    ins["batch_seconds"].observe(seconds)
+    ins["batch_rows"].observe(batch.batch_size)
+    mask = batch.mask
+    if mask.size:
+        # Packing efficiency of length bucketing: valid prediction positions
+        # over the padded (batch, time) grid; 1 − fill is the padding waste.
+        ins["batch_fill"].observe(float(mask.sum()) / float(mask.size))
+
+
+def _publish_workspace(ins, ws: Workspace) -> None:
+    ins["workspace_takes"].set(ws.takes)
+    ins["workspace_allocs"].set(ws.allocs)
+
+
 #: Target decoder positions (rows × padded timesteps) per engine batch.  Short
 #: trajectories pack into wide batches (amortising per-step ufunc dispatch),
 #: long ones into narrow batches (bounding the successor-gather working set).
@@ -655,12 +708,22 @@ class InferenceEngine:
         self._weight_t = np.ascontiguousarray(
             self.model.tg_vae.output_projection.weight.data.T
         )
+        ins = _inference_instruments()
         try:
-            for indices in _length_sorted_batches(dataset, batch_size):
-                part = self.decompose_batch(dataset.encode(indices), include_scaling)
-                out.fill_rows(np.asarray(indices, dtype=np.int64), part)
+            with obs.span("inference/decompose_dataset", trajectories=len(dataset)):
+                for indices in _length_sorted_batches(dataset, batch_size):
+                    if ins is None:
+                        part = self.decompose_batch(dataset.encode(indices), include_scaling)
+                    else:
+                        encoded = dataset.encode(indices)
+                        begin = _time.perf_counter()
+                        part = self.decompose_batch(encoded, include_scaling)
+                        _record_batch(ins, encoded, _time.perf_counter() - begin)
+                    out.fill_rows(np.asarray(indices, dtype=np.int64), part)
         finally:
             self._weight_t = None
+        if ins is not None:
+            _publish_workspace(ins, self._ws)
         self.stats.dataset_passes += 1
         return out
 
@@ -781,9 +844,18 @@ class Seq2SeqInferenceEngine:
     ) -> np.ndarray:
         """Scores for every trajectory (dataset order), length-bucketed batches."""
         scores = np.empty(len(dataset), dtype=np.float64)
-        for indices in _length_sorted_batches(dataset, batch_size):
-            scores[np.asarray(indices, dtype=np.int64)] = self.score_batch(
-                dataset.encode(indices)
-            )
+        ins = _inference_instruments()
+        with obs.span("inference/score_dataset", trajectories=len(dataset)):
+            for indices in _length_sorted_batches(dataset, batch_size):
+                rows = np.asarray(indices, dtype=np.int64)
+                if ins is None:
+                    scores[rows] = self.score_batch(dataset.encode(indices))
+                else:
+                    encoded = dataset.encode(indices)
+                    begin = _time.perf_counter()
+                    scores[rows] = self.score_batch(encoded)
+                    _record_batch(ins, encoded, _time.perf_counter() - begin)
+        if ins is not None:
+            _publish_workspace(ins, self._ws)
         self.stats.dataset_passes += 1
         return scores

@@ -20,6 +20,7 @@ the continuation is bit-identical to an uninterrupted run
 
 from __future__ import annotations
 
+import time
 import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -27,6 +28,7 @@ from typing import Callable, Dict, List, Optional, Protocol, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.config import TrainingConfig
 from repro.nn import (
     Adam,
@@ -134,47 +136,62 @@ class Trainer:
                 logger.info("resumed from %s at epoch %d", checkpoint_path, start_epoch)
 
         stopwatch = Stopwatch()
-        for epoch in range(start_epoch, epochs):
-            self.model.train()
-            epoch_losses: List[float] = []
-            with stopwatch.time("epoch"):
-                for batch in train_set.iter_batches(
-                    config.batch_size, shuffle=True, rng=self.rng, bucketing=config.bucketing
+        with obs.span("train/fit", epochs=epochs, start_epoch=start_epoch):
+            for epoch in range(start_epoch, epochs):
+                self.model.train()
+                epoch_losses: List[float] = []
+                ins = self._instruments()
+                with stopwatch.time("epoch"), obs.span("train/epoch", epoch=epoch):
+                    for batch in train_set.iter_batches(
+                        config.batch_size, shuffle=True, rng=self.rng, bucketing=config.bucketing
+                    ):
+                        if ins is None:
+                            loss_value = self._step(batch)
+                        else:
+                            loss_value = self._instrumented_step(batch, ins)
+                        epoch_losses.append(loss_value)
+                mean_loss = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
+                self.history.train_losses.append(mean_loss)
+                self.history.epoch_seconds.append(stopwatch.records["epoch"][-1])
+                if ins is not None:
+                    ins["epochs"].inc()
+                    ins["epoch_seconds"].observe(self.history.epoch_seconds[-1])
+                    ins["epoch_loss"].set(mean_loss)
+
+                if validation_set is not None and len(validation_set) > 0:
+                    with obs.span("train/validate", epoch=epoch):
+                        self.history.validation_losses.append(self.evaluate_loss(validation_set))
+
+                if config.log_every and (epoch + 1) % config.log_every == 0:
+                    val = (
+                        f", val {self.history.validation_losses[-1]:.4f}"
+                        if self.history.validation_losses
+                        else ""
+                    )
+                    logger.info("epoch %d/%d: train %.4f%s", epoch + 1, epochs, mean_loss, val)
+
+                if checkpoint_path is not None and (
+                    (epoch + 1) % max(checkpoint_every, 1) == 0 or epoch + 1 == epochs
                 ):
-                    loss_value = self._step(batch)
-                    epoch_losses.append(loss_value)
-            mean_loss = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
-            self.history.train_losses.append(mean_loss)
-            self.history.epoch_seconds.append(stopwatch.records["epoch"][-1])
-
-            if validation_set is not None and len(validation_set) > 0:
-                self.history.validation_losses.append(self.evaluate_loss(validation_set))
-
-            if config.log_every and (epoch + 1) % config.log_every == 0:
-                val = (
-                    f", val {self.history.validation_losses[-1]:.4f}"
-                    if self.history.validation_losses
-                    else ""
-                )
-                logger.info("epoch %d/%d: train %.4f%s", epoch + 1, epochs, mean_loss, val)
-
-            if checkpoint_path is not None and (
-                (epoch + 1) % max(checkpoint_every, 1) == 0 or epoch + 1 == epochs
-            ):
-                self.save_checkpoint(checkpoint_path, epoch=epoch + 1)
+                    self.save_checkpoint(checkpoint_path, epoch=epoch + 1)
         return self.history
 
     def train_one_epoch(self, dataset: TrajectoryDataset) -> float:
         """One epoch only (used by the training-scalability experiment)."""
         self.model.train()
-        losses = [
-            self._step(batch)
-            for batch in dataset.iter_batches(
-                self.config.batch_size, shuffle=True, rng=self.rng, bucketing=self.config.bucketing
-            )
-        ]
+        ins = self._instruments()
+        with obs.span("train/epoch"):
+            losses = [
+                self._step(batch) if ins is None else self._instrumented_step(batch, ins)
+                for batch in dataset.iter_batches(
+                    self.config.batch_size, shuffle=True, rng=self.rng, bucketing=self.config.bucketing
+                )
+            ]
         mean_loss = float(np.mean(losses)) if losses else float("nan")
         self.history.train_losses.append(mean_loss)
+        if ins is not None:
+            ins["epochs"].inc()
+            ins["epoch_loss"].set(mean_loss)
         return mean_loss
 
     def evaluate_loss(self, dataset: TrajectoryDataset) -> float:
@@ -276,6 +293,60 @@ class Trainer:
             clip_grad_norm(self.optimizer.parameters, self.config.grad_clip)
         self.optimizer.step()
         return loss.item()
+
+    # ------------------------------------------------------------------ #
+    # observability (see docs/OBSERVABILITY.md for the metric catalog)
+    # ------------------------------------------------------------------ #
+    def _instruments(self) -> Optional[Dict[str, object]]:
+        """Handles for the ``train/`` metrics, or None when obs is disabled.
+
+        Resolved once per epoch so the per-step path never touches the
+        registry's lock; when the global registry is disabled the training
+        loop is byte-for-byte the pre-observability code path.
+        """
+        registry = obs.metrics()
+        if not registry.enabled:
+            return None
+        scope = registry.scope("train")
+        return {
+            "steps": scope.counter("steps"),
+            "epochs": scope.counter("epochs"),
+            "trajectories": scope.counter("trajectories"),
+            "step_seconds": scope.histogram("step_seconds"),
+            "loss": scope.histogram("loss"),
+            "grad_norm": scope.histogram("grad_norm"),
+            "batch_fill": scope.histogram("batch_fill"),
+            "epoch_seconds": scope.histogram("epoch_seconds"),
+            "epoch_loss": scope.gauge("epoch_loss"),
+        }
+
+    def _instrumented_step(self, batch: EncodedBatch, ins: Dict[str, object]) -> float:
+        """Same update as :meth:`_step`, recording per-step metrics.
+
+        The optimisation math is identical (clipping included), so enabling
+        metrics never changes the trained parameters; the only extra work is
+        the pre-clip gradient norm when ``grad_clip`` is off.
+        """
+        begin = time.perf_counter()
+        loss = self._compute_loss(batch)
+        self.optimizer.zero_grad()
+        loss.backward()
+        max_norm = self.config.grad_clip if self.config.grad_clip > 0 else float("inf")
+        grad_norm = clip_grad_norm(self.optimizer.parameters, max_norm)
+        self.optimizer.step()
+        loss_value = loss.item()
+
+        ins["steps"].inc()
+        ins["trajectories"].inc(batch.batch_size)
+        ins["step_seconds"].observe(time.perf_counter() - begin)
+        ins["loss"].observe(loss_value)
+        ins["grad_norm"].observe(grad_norm)
+        mask = batch.mask
+        if mask.size:
+            # bucket occupancy: fraction of the padded (batch, time) grid
+            # holding real positions — how well length-bucketing packed us.
+            ins["batch_fill"].observe(float(mask.sum()) / float(mask.size))
+        return loss_value
 
     def _compute_loss(self, batch: EncodedBatch) -> Tensor:
         output = self.model(batch)

@@ -27,11 +27,31 @@ from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.experiments.cache import ArtifactCache
 from repro.experiments.fingerprint import stage_key
 from repro.experiments.stage import Stage, StageContext
+from repro.utils.logging import get_logger
 
 __all__ = ["ExperimentDAG", "StageExecution", "RunSummary"]
+
+logger = get_logger("experiments.dag")
+
+
+def _dag_instruments():
+    """Handles for the ``dag/`` metrics, or None when obs is disabled."""
+    registry = obs.metrics()
+    if not registry.enabled:
+        return None
+    scope = registry.scope("dag")
+    return {
+        "cache_hits": scope.counter("cache_hits"),
+        "executed": scope.counter("executed"),
+        "failed": scope.counter("failed"),
+        "stage_seconds": scope.histogram("stage_seconds"),
+        "workers_busy": scope.histogram("workers_busy"),
+        "workers": scope.gauge("workers"),
+    }
 
 
 @dataclass
@@ -184,12 +204,18 @@ class ExperimentDAG:
         plan = self.plan(cache, force=force)
         keys = {stage.name: key for stage, key, _ in plan}
         executions: Dict[str, StageExecution] = {}
+        ins = _dag_instruments()
+        if ins is not None:
+            ins["workers"].set(max(1, jobs))
 
         to_run = [stage for stage, _, cached in plan if not cached]
         for stage, key, cached in plan:
             if cached:
                 executions[stage.name] = StageExecution(stage.name, key, "cached")
                 log(f"[{stage.name}] cached ({key[:12]})")
+                logger.info("stage %s: cache hit (%s)", stage.name, key[:12])
+                if ins is not None:
+                    ins["cache_hits"].inc()
 
         remaining = {stage.name: set(d for d in stage.deps if d in {s.name for s in to_run})
                      for stage in to_run}
@@ -213,10 +239,20 @@ class ExperimentDAG:
                     error="".join(traceback.format_exception_only(type(exc), exc)).strip(),
                 )
                 log(f"[{stage.name}] FAILED: {executions[stage.name].error}")
+                logger.error("stage %s: failed: %s", stage.name, executions[stage.name].error)
+                if ins is not None:
+                    ins["failed"].inc()
                 if failure is None:
                     failure = exc
                 return
             log(f"[{stage.name}] done in {executions[stage.name].elapsed_seconds:.2f}s")
+            logger.info(
+                "stage %s: finished in %.2fs", stage.name,
+                executions[stage.name].elapsed_seconds,
+            )
+            if ins is not None:
+                ins["executed"].inc()
+                ins["stage_seconds"].observe(executions[stage.name].elapsed_seconds)
 
         with ThreadPoolExecutor(max_workers=max(1, jobs)) as pool:
             futures = {}
@@ -224,7 +260,12 @@ class ExperimentDAG:
                 while ready:
                     stage = ready.pop(0)
                     log(f"[{stage.name}] running ...")
+                    logger.info("stage %s: starting", stage.name)
                     futures[pool.submit(self._execute, stage, keys, cache, log)] = stage
+                if ins is not None and futures:
+                    # Worker occupancy each scheduling round: submitted stages
+                    # beyond the pool size are queued, not running — clamp.
+                    ins["workers_busy"].observe(float(min(len(futures), max(1, jobs))))
                 done, _ = wait(futures, return_when=FIRST_COMPLETED)
                 for future in done:
                     stage = futures.pop(future)
@@ -265,7 +306,8 @@ class ExperimentDAG:
         dep_keys = {dep: keys[dep] for dep in stage.deps}
         context = StageContext(stage, keys[stage.name], cache, dep_keys, log)
         begin = time.perf_counter()
-        value = stage.func(context)
+        with obs.span(f"stage/{stage.name}", key=keys[stage.name][:12]):
+            value = stage.func(context)
         elapsed = time.perf_counter() - begin
         cache.store(
             stage.name,

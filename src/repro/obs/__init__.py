@@ -1,0 +1,134 @@
+"""Unified observability: process-wide metrics registry and span tracing.
+
+This package is the one instrumentation surface for the whole system — the
+trainer, the batched inference engine, the fleet serving engine and the
+experiment DAG all report into it (see ``docs/OBSERVABILITY.md`` for the
+metric catalog):
+
+* :mod:`repro.obs.registry` — counters, gauges and numpy ring-buffer
+  histograms (p50/p95/p99) under hierarchical ``/``-scoped names.
+* :mod:`repro.obs.tracing` — ``span("stage/train")`` context managers that
+  build a per-thread trace tree, exportable as JSON or Chrome trace-event
+  format (viewable in Perfetto).
+* :mod:`repro.obs.exporters` — JSON snapshot, Prometheus text exposition and
+  trace-event file writers.
+
+Process-wide state
+------------------
+One global :class:`~repro.obs.registry.MetricsRegistry` and one global
+:class:`~repro.obs.tracing.Tracer` live here, both **disabled by default** so
+importing the library never pays for instrumentation.  ``repro run --trace``
+/ ``--metrics`` (and tests) turn them on via :func:`enable`:
+
+>>> from repro import obs
+>>> obs.enable()
+>>> with obs.span("demo/work"):
+...     obs.metrics().counter("demo/widgets").inc()
+>>> obs.disable()
+
+Hot paths follow one discipline, gated by
+``benchmarks/test_bench_obs_overhead.py``: check ``metrics().enabled`` (or
+call :func:`span`, whose disabled form is a shared no-op) **once per loop**,
+so disabled observability costs a branch — never an allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.exporters import (
+    metrics_snapshot,
+    prometheus_exposition,
+    write_metrics_json,
+    write_prometheus_textfile,
+    write_trace_json,
+)
+from repro.obs.registry import (
+    DEFAULT_HISTOGRAM_WINDOW,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsScope,
+)
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsScope",
+    "DEFAULT_HISTOGRAM_WINDOW",
+    "Span",
+    "Tracer",
+    "metrics",
+    "tracer",
+    "span",
+    "enable",
+    "disable",
+    "metrics_enabled",
+    "tracing_enabled",
+    "reset",
+    "metrics_snapshot",
+    "prometheus_exposition",
+    "write_metrics_json",
+    "write_prometheus_textfile",
+    "write_trace_json",
+]
+
+#: The process-wide registry / tracer.  Disabled until :func:`enable`.
+_METRICS = MetricsRegistry(enabled=False)
+_TRACER = Tracer(enabled=False)
+
+
+def metrics() -> MetricsRegistry:
+    """The process-wide metrics registry (shared by every subsystem)."""
+    return _METRICS
+
+
+def tracer() -> Tracer:
+    """The process-wide tracer."""
+    return _TRACER
+
+
+def span(name: str, **attrs):
+    """``tracer().span(name, **attrs)`` — a no-op when tracing is disabled."""
+    return _TRACER.span(name, **attrs)
+
+
+def metrics_enabled() -> bool:
+    return _METRICS.enabled
+
+
+def tracing_enabled() -> bool:
+    return _TRACER.enabled
+
+
+def enable(metrics: bool = True, tracing: bool = True) -> None:
+    """Turn the global registry and/or tracer on."""
+    if metrics:
+        _METRICS.enabled = True
+    if tracing:
+        _TRACER.enabled = True
+
+
+def disable(metrics: bool = True, tracing: bool = True) -> None:
+    """Turn the global registry and/or tracer off (recorded data is kept)."""
+    if metrics:
+        _METRICS.enabled = False
+    if tracing:
+        _TRACER.enabled = False
+
+
+def reset(enabled: Optional[bool] = None) -> None:
+    """Drop all recorded metrics and spans (fresh run / test isolation).
+
+    ``enabled`` optionally sets both the registry's and tracer's enabled flag
+    in the same call; ``None`` leaves the flags as they are.
+    """
+    _METRICS.reset()
+    _TRACER.clear()
+    if enabled is not None:
+        _METRICS.enabled = bool(enabled)
+        _TRACER.enabled = bool(enabled)

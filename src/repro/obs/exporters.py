@@ -1,0 +1,132 @@
+"""Exporters: metrics snapshots (JSON, Prometheus text) and trace files.
+
+Three wire formats cover every consumer the repo has:
+
+* **JSON snapshot** — ``{metric name: {stat: value}}`` plus a small meta
+  header; what ``repro run --metrics`` writes and what the report's
+  Observability section is built from.
+* **Prometheus text exposition** (version 0.0.4) — counters/gauges as single
+  samples, histograms as summary-style quantile samples, so a scrape endpoint
+  (or a file-based textfile collector) can lift the registry unchanged.
+* **Chrome trace-event JSON** — the tracer's span tree, viewable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.
+
+All writers are atomic (write to ``<path>.tmp`` then rename) so a crash never
+leaves a half-written artifact behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import Tracer
+
+__all__ = [
+    "metrics_snapshot",
+    "write_metrics_json",
+    "prometheus_exposition",
+    "write_prometheus_textfile",
+    "write_trace_json",
+]
+
+_PathLike = Union[str, Path]
+
+#: Prometheus metric names allow ``[a-zA-Z_:][a-zA-Z0-9_:]*``; everything the
+#: hierarchical scopes use besides that (``/``, ``-``, ``.``) maps to ``_``.
+_PROM_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _atomic_write_text(path: _PathLike, text: str) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+# --------------------------------------------------------------------------- #
+# JSON snapshot
+# --------------------------------------------------------------------------- #
+def metrics_snapshot(registry: MetricsRegistry) -> Dict[str, Any]:
+    """JSON-serialisable snapshot of every instrument in the registry.
+
+    ``{"metrics": {name: stats}, "meta": {...}}`` where counter/gauge stats
+    are ``{"type", "value"}`` and histogram stats add lifetime
+    count/total/mean/min/max plus window p50/p95/p99.
+    """
+    metrics: Dict[str, Any] = {}
+    for name, instrument in registry.items():
+        stats: Dict[str, Any] = {"type": type(instrument).__name__.lower()}
+        stats.update(instrument.stats())
+        metrics[name] = stats
+    return {
+        "meta": {"num_metrics": len(metrics), "enabled": registry.enabled},
+        "metrics": metrics,
+    }
+
+
+def write_metrics_json(registry: MetricsRegistry, path: _PathLike) -> Path:
+    """Write :func:`metrics_snapshot` to ``path`` (atomic); returns the path."""
+    return _atomic_write_text(
+        path, json.dumps(metrics_snapshot(registry), indent=2, sort_keys=True) + "\n"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Prometheus text exposition
+# --------------------------------------------------------------------------- #
+def _prom_name(name: str, prefix: str) -> str:
+    return _PROM_SANITIZE.sub("_", f"{prefix}_{name}" if prefix else name)
+
+
+def prometheus_exposition(registry: MetricsRegistry, prefix: str = "repro") -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4).
+
+    Counters become ``<prefix>_<name>_total``, gauges plain samples, and
+    histograms summary-style series: ``{quantile="0.5|0.95|0.99"}`` samples
+    over the ring-buffer window plus lifetime ``_count`` / ``_sum``.
+    """
+    lines = []
+    for name, instrument in registry.items():
+        prom = _prom_name(name, prefix)
+        if isinstance(instrument, Counter):
+            lines.append(f"# TYPE {prom}_total counter")
+            lines.append(f"{prom}_total {instrument.value:.17g}")
+        elif isinstance(instrument, Gauge):
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {instrument.value:.17g}")
+        elif isinstance(instrument, Histogram):
+            lines.append(f"# TYPE {prom} summary")
+            for q in (0.5, 0.95, 0.99):
+                lines.append(
+                    f'{prom}{{quantile="{q}"}} {instrument.percentile(q * 100.0):.17g}'
+                )
+            lines.append(f"{prom}_sum {instrument.total:.17g}")
+            lines.append(f"{prom}_count {instrument.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus_textfile(
+    registry: MetricsRegistry, path: _PathLike, prefix: str = "repro"
+) -> Path:
+    """Write :func:`prometheus_exposition` to ``path`` (atomic)."""
+    return _atomic_write_text(path, prometheus_exposition(registry, prefix))
+
+
+# --------------------------------------------------------------------------- #
+# Chrome trace events
+# --------------------------------------------------------------------------- #
+def write_trace_json(tracer: Tracer, path: _PathLike, process_name: str = "repro") -> Path:
+    """Write the tracer's Chrome trace-event JSON to ``path`` (atomic).
+
+    The file opens directly in Perfetto (https://ui.perfetto.dev) or
+    ``chrome://tracing``; see ``docs/OBSERVABILITY.md`` for a walkthrough.
+    """
+    payload = tracer.to_chrome_trace(process_name=process_name)
+    return _atomic_write_text(path, json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,385 @@
+"""Process-wide metrics registry: counters, gauges and ring-buffer histograms.
+
+The registry is the one sink every subsystem reports into — the trainer's
+per-step latency, the inference engine's batch-packing efficiency, the fleet
+engine's tick latency and the experiment DAG's cache hit rate all become
+named instruments under hierarchical ``/``-separated scopes
+(``train/step_seconds``, ``inference/batch_fill``, ``dag/cache_hits``).
+
+Three instrument kinds cover everything the repo measures:
+
+* :class:`Counter` — a monotonically growing total (steps run, cache hits,
+  events dropped).
+* :class:`Gauge` — a point-in-time value that moves both ways (active rides,
+  busy workers).
+* :class:`Histogram` — a **fixed-capacity numpy ring buffer** of the most
+  recent observations plus lifetime count/sum/min/max.  Percentiles
+  (p50/p95/p99) are computed over the window on demand, so a long-running
+  process keeps flat memory and O(1) recording cost — this is what replaced
+  the fleet telemetry's O(n) list-slice sliding window.
+
+Cost model
+----------
+Instrument handles are plain Python objects; recording is an attribute update
+(counter/gauge) or one ring-buffer store (histogram) — no locks on the hot
+path (CPython's GIL makes the single update safe enough for telemetry).  Hot
+paths additionally check :attr:`MetricsRegistry.enabled` **once per loop** and
+skip instrumentation entirely when the registry is disabled, which is what
+keeps the disabled-observability overhead under the 2% gate of
+``benchmarks/test_bench_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsScope",
+    "DEFAULT_HISTOGRAM_WINDOW",
+]
+
+#: Ring-buffer capacity used when a histogram is created without an explicit
+#: ``window`` — large enough for stable tail percentiles, small enough that a
+#: process full of histograms stays in the tens of megabytes.
+DEFAULT_HISTOGRAM_WINDOW = 4096
+
+
+class Counter:
+    """A named monotonically increasing total."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Add ``amount`` (default 1) to the running total."""
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @value.setter
+    def value(self, new_value: Union[int, float]) -> None:
+        # Settable so façade objects (FleetTelemetry) can expose the counter
+        # as a plain read-write attribute; by convention it only grows.
+        self._value = float(new_value)
+
+    def stats(self) -> Dict[str, float]:
+        return {"value": float(self._value)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, value={self._value})"
+
+
+class Gauge:
+    """A named point-in-time value (moves both ways)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def set(self, value: Union[int, float]) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        self._value += amount
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def stats(self) -> Dict[str, float]:
+        return {"value": float(self._value)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, value={self._value})"
+
+
+class Histogram:
+    """Sliding-window distribution over a fixed-capacity numpy ring buffer.
+
+    :meth:`observe` is O(1): one array store, a wrap of the insertion index
+    and four scalar updates (lifetime count/total/min/max).  Percentiles are
+    computed lazily over the window's current contents — ``np.percentile`` is
+    order-independent, so the ring buffer reproduces exactly what the old
+    list-based sliding window (``del samples[:-window]``) produced, without
+    the O(n) slice per record.
+    """
+
+    __slots__ = ("name", "_buffer", "_next", "_filled", "_count", "_total", "_min", "_max")
+
+    def __init__(self, name: str, window: int = DEFAULT_HISTOGRAM_WINDOW) -> None:
+        if window <= 0:
+            raise ValueError("histogram window must be positive")
+        self.name = name
+        self._buffer = np.empty(int(window), dtype=np.float64)
+        self._next = 0  # insertion index
+        self._filled = 0  # valid samples currently in the buffer
+        self._count = 0  # lifetime observation count
+        self._total = 0.0  # lifetime sum
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    # -- recording ------------------------------------------------------- #
+    def observe(self, value: float) -> None:
+        """Record one observation (O(1), no allocation)."""
+        buffer = self._buffer
+        buffer[self._next] = value
+        self._next += 1
+        if self._next == buffer.shape[0]:
+            self._next = 0
+        if self._filled < buffer.shape[0]:
+            self._filled += 1
+        self._count += 1
+        self._total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    # -- window management ------------------------------------------------ #
+    @property
+    def window(self) -> int:
+        """Ring-buffer capacity (number of most recent samples retained)."""
+        return int(self._buffer.shape[0])
+
+    @window.setter
+    def window(self, new_window: int) -> None:
+        self.resize(new_window)
+
+    def resize(self, new_window: int) -> None:
+        """Change the window capacity, keeping the most recent samples."""
+        if new_window <= 0:
+            raise ValueError("histogram window must be positive")
+        kept = self.values()[-int(new_window):]
+        self._buffer = np.empty(int(new_window), dtype=np.float64)
+        self._buffer[: kept.shape[0]] = kept
+        self._filled = int(kept.shape[0])
+        self._next = self._filled % int(new_window)
+
+    # -- reading ----------------------------------------------------------- #
+    def __len__(self) -> int:
+        """Number of samples currently in the window."""
+        return self._filled
+
+    @property
+    def count(self) -> int:
+        """Lifetime number of observations (not capped by the window)."""
+        return self._count
+
+    @property
+    def total(self) -> float:
+        """Lifetime sum of observations."""
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        """Lifetime mean (0 before the first observation)."""
+        return self._total / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else 0.0
+
+    def values(self) -> np.ndarray:
+        """Window contents in insertion order (a copy; empty before any observe).
+
+        When the buffer is not yet full the samples occupy its head in
+        insertion order (the index wraps only on a full buffer, and
+        :meth:`resize` re-compacts to the head), so the two branches cover
+        every state.
+        """
+        if self._filled < self._buffer.shape[0]:
+            return self._buffer[: self._filled].copy()
+        return np.concatenate([self._buffer[self._next :], self._buffer[: self._next]])
+
+    def percentile(self, q: float) -> float:
+        """``np.percentile`` over the current window (0 when empty)."""
+        if self._filled == 0:
+            return 0.0
+        if self._filled < self._buffer.shape[0]:
+            return float(np.percentile(self._buffer[: self._filled], q))
+        return float(np.percentile(self._buffer, q))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "count": float(self._count),
+            "total": float(self._total),
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "window": float(self.window),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, count={self._count}, window={self.window})"
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named instruments under hierarchical ``/``-separated scopes.
+
+    ``counter`` / ``gauge`` / ``histogram`` are *get-or-create*: asking twice
+    for the same name returns the same object, so call sites can simply ask
+    by name instead of threading handles around.  Requesting an existing name
+    as a different instrument kind raises ``TypeError`` — one name, one
+    meaning, process-wide.
+
+    ``enabled`` is advisory: instruments always record when called, but hot
+    paths are expected to check it once per loop and skip instrumentation
+    entirely when False (see the module docstring's cost model).  The global
+    registry of :mod:`repro.obs` starts disabled; explicitly constructed
+    registries (e.g. the fleet telemetry's private one) start enabled.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self._instruments: Dict[str, Instrument] = {}
+        self._lock = threading.Lock()
+
+    # -- get-or-create ------------------------------------------------------ #
+    def _get(self, name: str, kind: type, *args) -> Instrument:
+        instrument = self._instruments.get(name)
+        if instrument is not None:
+            if not isinstance(instrument, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not {kind.__name__}"
+                )
+            return instrument
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = kind(name, *args)
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not {kind.__name__}"
+                )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(self, name: str, window: int = DEFAULT_HISTOGRAM_WINDOW) -> Histogram:
+        return self._get(name, Histogram, window)  # type: ignore[return-value]
+
+    def scope(self, prefix: str) -> "MetricsScope":
+        """A view that prepends ``prefix/`` to every instrument name."""
+        return MetricsScope(self, prefix)
+
+    # -- introspection ------------------------------------------------------ #
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def get(self, name: str) -> Optional[Instrument]:
+        """The instrument registered under ``name`` (None when absent)."""
+        return self._instruments.get(name)
+
+    def names(self, prefix: str = "") -> List[str]:
+        """Sorted instrument names, optionally restricted to a scope prefix."""
+        if prefix and not prefix.endswith("/"):
+            prefix += "/"
+        return sorted(n for n in self._instruments if n.startswith(prefix))
+
+    def items(self) -> Iterable[Tuple[str, Instrument]]:
+        return sorted(self._instruments.items())
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """``{name: {stat: value}}`` for every instrument (sorted by name).
+
+        Each entry also carries a ``"type"``-free, purely numeric stats dict —
+        counters/gauges expose ``value``, histograms count/total/mean/min/max
+        and the p50/p95/p99 of their window — so the snapshot is directly
+        JSON-serialisable (see :mod:`repro.obs.exporters`).
+        """
+        return {name: instrument.stats() for name, instrument in self.items()}
+
+    def reset(self) -> None:
+        """Drop every instrument (used by tests and fresh CLI runs)."""
+        with self._lock:
+            self._instruments.clear()
+
+
+class MetricsScope:
+    """A registry view under a fixed name prefix.
+
+    ``registry.scope("train").counter("steps")`` is exactly
+    ``registry.counter("train/steps")``; scopes nest
+    (``scope("a").scope("b")`` prefixes ``a/b/``).
+    """
+
+    __slots__ = ("_registry", "_prefix")
+
+    def __init__(self, registry: MetricsRegistry, prefix: str) -> None:
+        if not prefix or prefix.endswith("/"):
+            raise ValueError(f"scope prefix must be non-empty without trailing '/': {prefix!r}")
+        self._registry = registry
+        self._prefix = prefix
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    @property
+    def enabled(self) -> bool:
+        return self._registry.enabled
+
+    def counter(self, name: str) -> Counter:
+        return self._registry.counter(f"{self._prefix}/{name}")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._registry.gauge(f"{self._prefix}/{name}")
+
+    def histogram(self, name: str, window: int = DEFAULT_HISTOGRAM_WINDOW) -> Histogram:
+        return self._registry.histogram(f"{self._prefix}/{name}", window)
+
+    def scope(self, prefix: str) -> "MetricsScope":
+        return MetricsScope(self._registry, f"{self._prefix}/{prefix}")

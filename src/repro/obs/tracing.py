@@ -1,0 +1,258 @@
+"""Span tracing: hierarchical wall-clock traces exportable to Perfetto.
+
+A *span* is one timed region of the program with a ``/``-separated stage name
+(``stage/train/CausalTAD``, ``train/epoch``, ``inference/score_dataset``).
+Spans nest: entering a span while another is open on the same thread makes it
+a child, so a run builds a trace **tree** per thread — exactly the shape the
+Chrome trace-event format (and therefore `Perfetto <https://ui.perfetto.dev>`_
+or ``chrome://tracing``) renders as a flame graph.
+
+Usage::
+
+    tracer = Tracer()
+    with tracer.span("stage/train", detector="CausalTAD"):
+        with tracer.span("train/epoch", epoch=0):
+            ...
+
+    tracer.to_chrome_trace()   # {"traceEvents": [...]} — open in Perfetto
+    tracer.to_tree()           # nested dicts for programmatic inspection
+
+Exception safety: a span closed by an exception records ``error`` (the
+exception's type and message) and never swallows it.  Thread safety: each
+thread keeps its own open-span stack (``threading.local``), and completed
+spans are appended to one shared list — safe under the GIL, and the export
+formats carry the thread id so concurrent DAG stages stay distinguishable.
+
+Cost: a **disabled** tracer hands out a shared no-op context manager — one
+method call, one attribute check, no allocation — which is what lets hot
+paths call ``span()`` unconditionally (gated by
+``benchmarks/test_bench_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One completed (or still-open) timed region.
+
+    Attributes
+    ----------
+    name:
+        Hierarchical span name (``/``-separated).
+    start / end:
+        ``time.perf_counter()`` readings relative to the tracer's origin;
+        ``end`` is None while the span is open.
+    thread_id:
+        ``threading.get_ident()`` of the opening thread.
+    parent:
+        The enclosing span on the same thread (None for roots).
+    children:
+        Child spans in completion order.
+    attrs:
+        Free-form key/value annotations passed to :meth:`Tracer.span`.
+    error:
+        ``"TypeName: message"`` when the span exited via an exception.
+    """
+
+    __slots__ = ("name", "start", "end", "thread_id", "parent", "children", "attrs", "error")
+
+    def __init__(
+        self,
+        name: str,
+        start: float,
+        thread_id: int,
+        parent: Optional["Span"] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.thread_id = thread_id
+        self.parent = parent
+        self.children: List["Span"] = []
+        self.attrs = attrs or {}
+        self.error: Optional[str] = None
+
+    @property
+    def duration(self) -> float:
+        """Seconds between enter and exit (0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Nested-dict form of this span and its subtree."""
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "start_seconds": self.start,
+            "duration_seconds": self.duration,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.error is not None:
+            out["error"] = self.error
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, duration={self.duration:.6f}s)"
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager handed out by disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _SpanContext:
+    """Context manager that opens/closes one :class:`Span` on a tracer."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._open(self._name, self._attrs)
+        return self._span
+
+    def __exit__(self, exc_type, exc, _tb) -> None:
+        error = None
+        if exc_type is not None:
+            error = f"{exc_type.__name__}: {exc}"
+        self._tracer._close(self._span, error)
+        return None  # never suppress the exception
+
+
+class Tracer:
+    """Builds a per-thread span tree and exports it as JSON / trace events.
+
+    ``enabled`` can be flipped at any time; spans opened while enabled close
+    normally even if the tracer is disabled mid-span.  ``clear()`` drops every
+    recorded span (fresh run).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self._origin = time.perf_counter()
+        self._spans: List[Span] = []  # completed spans, completion order
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    # -- recording --------------------------------------------------------- #
+    def span(self, name: str, **attrs: Any):
+        """Context manager timing ``name``; no-op when the tracer is disabled."""
+        if not self.enabled:
+            return _NOOP_SPAN
+        return _SpanContext(self, name, attrs)
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _open(self, name: str, attrs: Dict[str, Any]) -> Span:
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        span = Span(
+            name,
+            time.perf_counter() - self._origin,
+            threading.get_ident(),
+            parent=parent,
+            attrs=attrs,
+        )
+        stack.append(span)
+        return span
+
+    def _close(self, span: Optional[Span], error: Optional[str]) -> None:
+        if span is None:  # pragma: no cover - __enter__ always sets it
+            return
+        span.end = time.perf_counter() - self._origin
+        span.error = error
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        if span.parent is not None:
+            span.parent.children.append(span)
+        with self._lock:
+            self._spans.append(span)
+
+    def clear(self) -> None:
+        """Forget every completed span and restart the time origin."""
+        with self._lock:
+            self._spans = []
+        self._origin = time.perf_counter()
+        self._local = threading.local()
+
+    # -- reading ----------------------------------------------------------- #
+    @property
+    def spans(self) -> List[Span]:
+        """Completed spans in completion order (children before parents)."""
+        return list(self._spans)
+
+    def roots(self) -> List[Span]:
+        """Completed top-level spans (no parent), in completion order."""
+        return [span for span in self._spans if span.parent is None]
+
+    def find(self, name: str) -> List[Span]:
+        """Completed spans with exactly this name."""
+        return [span for span in self._spans if span.name == name]
+
+    # -- exports ----------------------------------------------------------- #
+    def to_tree(self) -> List[Dict[str, Any]]:
+        """The trace as a list of root-span subtrees (JSON-serialisable)."""
+        return [span.to_dict() for span in self.roots()]
+
+    def to_chrome_trace(self, process_name: str = "repro") -> Dict[str, Any]:
+        """The trace in Chrome trace-event format (one complete 'X' event per span).
+
+        The returned dict serialises to a JSON file that Perfetto
+        (https://ui.perfetto.dev) and ``chrome://tracing`` open directly:
+        timestamps/durations are microseconds, ``tid`` is the recording
+        thread, and span attributes / errors ride in ``args``.
+        """
+        events: List[Dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",  # metadata event naming the process track
+                "pid": 1,
+                "tid": 0,
+                "args": {"name": process_name},
+            }
+        ]
+        for span in self._spans:
+            args: Dict[str, Any] = dict(span.attrs)
+            if span.error is not None:
+                args["error"] = span.error
+            event: Dict[str, Any] = {
+                "name": span.name,
+                "cat": span.name.split("/", 1)[0],
+                "ph": "X",  # complete event: timestamp + duration
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": 1,
+                "tid": span.thread_id,
+            }
+            if args:
+                event["args"] = args
+            events.append(event)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -37,13 +37,17 @@ import numpy as np
 
 from repro.core.causal_tad import CausalTAD
 from repro.core.scoring_kernel import advance_sessions, init_session_states
+from repro.obs.registry import MetricsRegistry
 from repro.serving.alerts import Alert, ThresholdAlertPolicy, top_k_rides
 from repro.serving.events import FleetEvent, RideEnd, RideStart, SegmentObserved
 from repro.serving.store import RideState, SessionStore
 from repro.serving.telemetry import FleetTelemetry
+from repro.utils.logging import get_logger
 from repro.utils.timing import Timer
 
 __all__ = ["FleetEngine", "TickReport", "FinishedRide", "FleetRunSummary"]
+
+logger = get_logger("serving.engine")
 
 
 @dataclass(frozen=True)
@@ -144,6 +148,11 @@ class FleetEngine:
         How many finished-ride records and alerts to keep (FIFO beyond
         that), so a long-running engine's memory stays flat no matter how
         many rides it has ever served.
+    metrics_registry:
+        Where :class:`FleetTelemetry` registers its instruments.  ``None``
+        (default) keeps a private per-engine registry; pass the global
+        ``repro.obs.metrics()`` to publish fleet metrics process-wide
+        (JSON / Prometheus exporters then include them).
     """
 
     def __init__(
@@ -154,6 +163,7 @@ class FleetEngine:
         ttl_ticks: Optional[int] = None,
         alert_policy: Optional[ThresholdAlertPolicy] = None,
         retention: int = 100_000,
+        metrics_registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.model = model
         self.model.eval()
@@ -164,7 +174,7 @@ class FleetEngine:
         if retention <= 0:
             raise ValueError("retention must be positive")
         self.store = SessionStore(capacity=capacity, ttl_ticks=ttl_ticks)
-        self.telemetry = FleetTelemetry()
+        self.telemetry = FleetTelemetry(registry=metrics_registry)
         self.alert_policy = alert_policy
         self.retention = retention
         self.alerts: Deque[Alert] = deque(maxlen=retention)
@@ -219,6 +229,10 @@ class FleetEngine:
                 self._prestart_observations[event.ride_id].append(event.segment_id)
             else:
                 self.telemetry.events_dropped += 1
+                logger.debug(
+                    "dropped SegmentObserved for unknown ride %r (segment %d, tick %d)",
+                    event.ride_id, event.segment_id, self._tick,
+                )
         elif isinstance(event, RideStart):
             if event.ride_id in self.store or event.ride_id in self._prestart_observations:
                 raise ValueError(f"ride {event.ride_id!r} already has an active session")
@@ -232,6 +246,9 @@ class FleetEngine:
                 self._pending_ends.append(event.ride_id)
             else:
                 self.telemetry.events_dropped += 1
+                logger.debug(
+                    "dropped RideEnd for unknown ride %r (tick %d)", event.ride_id, self._tick
+                )
         else:
             raise TypeError(f"unknown fleet event: {event!r}")
 
@@ -323,6 +340,12 @@ class FleetEngine:
                     report.alerts.append(alert)
                     self.alerts.append(alert)
                     self.telemetry.alerts_raised += 1
+                    logger.info(
+                        "alert: ride %r per-segment score %.4f at tick %d "
+                        "(%d segments observed)",
+                        alert.ride_id, alert.per_segment_score, self._tick,
+                        alert.observed_length,
+                    )
         report.segments_processed += len(batch)
 
     def _finish_rides(self, report: TickReport) -> None:
@@ -363,6 +386,11 @@ class FleetEngine:
         )
         if evicted:
             self.telemetry.rides_evicted += 1
+            logger.info(
+                "evicted ride %r at tick %d (%d segments observed, score %.4f)",
+                state.ride_id, self._tick, state.observed_length,
+                self.finished[state.ride_id].final_score,
+            )
         else:
             self.telemetry.rides_finished += 1
 

@@ -1,0 +1,102 @@
+"""Exporter round-trips: JSON snapshot, Prometheus text, Chrome trace file."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.exporters import (
+    metrics_snapshot,
+    prometheus_exposition,
+    write_metrics_json,
+    write_prometheus_textfile,
+    write_trace_json,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("train/steps").inc(12)
+    registry.gauge("dag/workers").set(4)
+    hist = registry.histogram("fleet/tick_seconds", window=8)
+    for value in (0.1, 0.2, 0.3, 0.4):
+        hist.observe(value)
+    return registry
+
+
+class TestMetricsJson:
+    def test_snapshot_structure(self, registry):
+        snapshot = metrics_snapshot(registry)
+        assert snapshot["meta"]["num_metrics"] == 3
+        metrics = snapshot["metrics"]
+        assert metrics["train/steps"] == {"type": "counter", "value": 12.0}
+        assert metrics["dag/workers"] == {"type": "gauge", "value": 4.0}
+        hist = metrics["fleet/tick_seconds"]
+        assert hist["type"] == "histogram"
+        assert hist["count"] == 4.0
+        assert hist["p50"] == pytest.approx(0.25)
+
+    def test_write_round_trips_through_json(self, registry, tmp_path):
+        path = write_metrics_json(registry, tmp_path / "metrics.json")
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert loaded == metrics_snapshot(registry)
+        assert not (tmp_path / "metrics.json.tmp").exists()  # atomic write cleaned up
+
+    def test_writer_creates_parent_dirs(self, registry, tmp_path):
+        path = write_metrics_json(registry, tmp_path / "a" / "b" / "m.json")
+        assert path.exists()
+
+
+class TestPrometheus:
+    def test_exposition_format(self, registry):
+        text = prometheus_exposition(registry)
+        lines = text.splitlines()
+        assert "# TYPE repro_train_steps_total counter" in lines
+        assert "repro_train_steps_total 12" in lines
+        assert "# TYPE repro_dag_workers gauge" in lines
+        assert "repro_dag_workers 4" in lines
+        assert "# TYPE repro_fleet_tick_seconds summary" in lines
+        assert 'repro_fleet_tick_seconds{quantile="0.5"} 0.25' in lines
+        assert "repro_fleet_tick_seconds_count 4" in lines
+        assert text.endswith("\n")
+
+    def test_sum_line_value(self, registry):
+        text = prometheus_exposition(registry)
+        (sum_line,) = [l for l in text.splitlines() if l.startswith("repro_fleet_tick_seconds_sum")]
+        assert float(sum_line.split()[1]) == pytest.approx(1.0)
+
+    def test_names_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("a/b-c.d").inc()
+        text = prometheus_exposition(registry, prefix="x")
+        assert "x_a_b_c_d_total 1" in text
+
+    def test_empty_registry_is_empty_exposition(self):
+        assert prometheus_exposition(MetricsRegistry()) == ""
+
+    def test_textfile_written(self, registry, tmp_path):
+        path = write_prometheus_textfile(registry, tmp_path / "m.prom")
+        assert path.read_text(encoding="utf-8") == prometheus_exposition(registry)
+
+
+class TestTraceFile:
+    def test_trace_file_is_valid_chrome_trace(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("stage/a"):
+            with tracer.span("inner"):
+                pass
+        path = write_trace_json(tracer, tmp_path / "trace.json", process_name="p")
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert isinstance(payload["traceEvents"], list)
+        phases = {event["ph"] for event in payload["traceEvents"]}
+        assert phases == {"M", "X"}
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"stage/a", "inner"}
+        # Every complete event carries the fields Perfetto requires.
+        for event in complete:
+            for key in ("name", "cat", "ts", "dur", "pid", "tid"):
+                assert key in event

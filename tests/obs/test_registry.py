@@ -1,0 +1,185 @@
+"""Unit tests for the metrics registry: instruments, scopes, ring buffers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_HISTOGRAM_WINDOW,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounterAndGauge:
+    def test_counter_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+        assert counter.stats() == {"value": 6.0}
+
+    def test_counter_value_settable_for_facades(self):
+        counter = Counter("c")
+        counter.value = 3
+        counter.value += 2  # the FleetTelemetry `+=` idiom
+        assert counter.value == 5.0
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.dec(4)
+        gauge.inc()
+        assert gauge.value == 7.0
+
+
+class TestHistogram:
+    def test_empty_histogram_is_all_zero(self):
+        hist = Histogram("h", window=8)
+        assert len(hist) == 0
+        assert hist.count == 0
+        assert hist.percentile(50) == 0.0
+        assert hist.p50 == hist.p95 == hist.p99 == 0.0
+        assert hist.mean == hist.min == hist.max == 0.0
+        assert hist.values().shape == (0,)
+
+    def test_single_sample(self):
+        hist = Histogram("h", window=8)
+        hist.observe(3.5)
+        assert len(hist) == 1
+        assert hist.count == 1
+        assert hist.p50 == hist.p95 == hist.p99 == 3.5
+        assert hist.min == hist.max == hist.total == 3.5
+
+    @pytest.mark.parametrize("n", [3, 8, 13, 40])
+    def test_percentiles_match_numpy_over_window(self, n):
+        window = 8
+        rng = np.random.default_rng(7)
+        samples = rng.normal(size=n)
+        hist = Histogram("h", window=window)
+        for value in samples:
+            hist.observe(float(value))
+        expected = samples[-window:]  # the retained sliding window
+        np.testing.assert_allclose(np.sort(hist.values()), np.sort(expected))
+        for q in (0, 25, 50, 95, 99, 100):
+            assert hist.percentile(q) == pytest.approx(float(np.percentile(expected, q)))
+
+    def test_wraparound_keeps_insertion_order(self):
+        hist = Histogram("h", window=4)
+        for value in range(7):  # 0..6; window keeps 3,4,5,6
+            hist.observe(float(value))
+        np.testing.assert_array_equal(hist.values(), [3.0, 4.0, 5.0, 6.0])
+        assert hist.count == 7
+        assert hist.total == sum(range(7))
+        assert hist.min == 0.0 and hist.max == 6.0  # lifetime, not window
+
+    def test_resize_shrink_keeps_most_recent(self):
+        hist = Histogram("h", window=8)
+        for value in range(6):
+            hist.observe(float(value))
+        hist.resize(3)
+        np.testing.assert_array_equal(hist.values(), [3.0, 4.0, 5.0])
+        assert hist.window == 3
+        hist.observe(9.0)  # ring continues after the resize
+        np.testing.assert_array_equal(hist.values(), [4.0, 5.0, 9.0])
+
+    def test_resize_grow_after_shrink_exposes_no_garbage(self):
+        hist = Histogram("h", window=8)
+        for value in range(8):
+            hist.observe(float(value))
+        hist.resize(2)
+        hist.resize(16)
+        np.testing.assert_array_equal(hist.values(), [6.0, 7.0])
+        assert len(hist) == 2
+        hist.observe(1.0)
+        assert len(hist) == 3
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Histogram("h", window=0)
+        with pytest.raises(ValueError):
+            Histogram("h", window=4).resize(-1)
+
+    def test_matches_legacy_list_window_semantics(self):
+        # The ring buffer replaced `samples.append(); del samples[:-window]`
+        # in FleetTelemetry — same window, same percentiles, bit for bit.
+        window = 16
+        rng = np.random.default_rng(11)
+        samples = list(rng.exponential(size=100))
+        hist = Histogram("h", window=window)
+        legacy: list = []
+        for value in samples:
+            hist.observe(value)
+            legacy.append(value)
+            del legacy[:-window]
+        for q in (50, 95, 99):
+            assert hist.percentile(q) == float(np.percentile(legacy, q))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a/b") is registry.counter("a/b")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+    def test_scope_prefixes_names(self):
+        registry = MetricsRegistry()
+        scope = registry.scope("train")
+        scope.counter("steps").inc()
+        assert "train/steps" in registry
+        assert registry.get("train/steps").value == 1
+
+    def test_scopes_nest(self):
+        registry = MetricsRegistry()
+        registry.scope("a").scope("b").gauge("g").set(2)
+        assert registry.names() == ["a/b/g"]
+
+    def test_scope_rejects_trailing_slash_and_empty(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.scope("train/")
+        with pytest.raises(ValueError):
+            registry.scope("")
+
+    def test_names_filters_by_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("train/steps")
+        registry.counter("trainer_like/steps")
+        registry.counter("inference/batches")
+        assert registry.names("train") == ["train/steps"]
+        assert registry.names() == [
+            "inference/batches",
+            "train/steps",
+            "trainer_like/steps",
+        ]
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.histogram("h", window=4).observe(1.0)
+        snapshot = registry.snapshot()
+        assert snapshot["c"] == {"value": 2.0}
+        assert snapshot["h"]["count"] == 1.0
+        assert snapshot["h"]["window"] == 4.0
+
+    def test_reset_drops_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.counter("c").value == 0
+
+    def test_default_histogram_window(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("h").window == DEFAULT_HISTOGRAM_WINDOW

@@ -1,0 +1,153 @@
+"""Unit tests for span tracing: nesting, exceptions, threads, exports."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.tracing import _NOOP_SPAN, Tracer
+
+
+class TestSpanNesting:
+    def test_single_span_records_duration(self):
+        tracer = Tracer()
+        with tracer.span("stage/train") as span:
+            pass
+        assert span.end is not None
+        assert span.duration >= 0.0
+        assert tracer.find("stage/train") == [span]
+
+    def test_nested_spans_build_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner/a"):
+                pass
+            with tracer.span("inner/b"):
+                pass
+        roots = tracer.roots()
+        assert [s.name for s in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == ["inner/a", "inner/b"]
+        assert all(c.parent is roots[0] for c in roots[0].children)
+
+    def test_completion_order_children_before_parents(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                pass
+        assert [s.name for s in tracer.spans] == ["child", "parent"]
+
+    def test_attrs_recorded(self):
+        tracer = Tracer()
+        with tracer.span("train/epoch", epoch=3, detector="CausalTAD") as span:
+            pass
+        assert span.attrs == {"epoch": 3, "detector": "CausalTAD"}
+
+    def test_to_tree_nested_dicts(self):
+        tracer = Tracer()
+        with tracer.span("a", k="v"):
+            with tracer.span("a/b"):
+                pass
+        tree = tracer.to_tree()
+        assert len(tree) == 1
+        assert tree[0]["name"] == "a"
+        assert tree[0]["attrs"] == {"k": "v"}
+        assert tree[0]["children"][0]["name"] == "a/b"
+
+
+class TestExceptionSafety:
+    def test_error_recorded_and_exception_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("stage/fails"):
+                raise ValueError("boom")
+        (span,) = tracer.find("stage/fails")
+        assert span.error == "ValueError: boom"
+        assert span.end is not None
+
+    def test_stack_unwinds_after_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("x")
+        # Both spans closed; a new span is a fresh root, not a child.
+        with tracer.span("after"):
+            pass
+        assert [s.name for s in tracer.roots()] == ["outer", "after"]
+
+
+class TestThreading:
+    def test_threads_keep_independent_stacks(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def work(tag):
+            with tracer.span(f"thread/{tag}"):
+                barrier.wait(timeout=5)  # both spans open simultaneously
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        spans = tracer.spans
+        assert len(spans) == 2
+        # Neither span became the other's child, and thread ids differ.
+        assert all(span.parent is None for span in spans)
+        assert len({span.thread_id for span in spans}) == 2
+
+
+class TestDisabledTracer:
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("x") is _NOOP_SPAN
+        assert tracer.span("y") is _NOOP_SPAN  # no allocation per call
+        with tracer.span("z"):
+            pass
+        assert tracer.spans == []
+
+    def test_global_span_noop_when_disabled(self):
+        obs.reset(enabled=False)
+        assert obs.span("anything") is _NOOP_SPAN
+
+
+class TestChromeTrace:
+    def test_chrome_trace_shape(self):
+        tracer = Tracer()
+        with tracer.span("stage/train", detector="VSAE"):
+            with tracer.span("train/epoch"):
+                pass
+        payload = tracer.to_chrome_trace(process_name="test-proc")
+        events = payload["traceEvents"]
+        assert payload["displayTimeUnit"] == "ms"
+        meta = events[0]
+        assert meta["ph"] == "M" and meta["args"] == {"name": "test-proc"}
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"stage/train", "train/epoch"}
+        for event in complete:
+            assert event["pid"] == 1
+            assert event["dur"] >= 0.0
+            assert event["ts"] >= 0.0
+        by_name = {e["name"]: e for e in complete}
+        assert by_name["stage/train"]["cat"] == "stage"
+        assert by_name["stage/train"]["args"] == {"detector": "VSAE"}
+
+    def test_error_rides_in_args(self):
+        tracer = Tracer()
+        with pytest.raises(KeyError):
+            with tracer.span("stage/x"):
+                raise KeyError("missing")
+        event = [e for e in tracer.to_chrome_trace()["traceEvents"] if e["ph"] == "X"][0]
+        assert "KeyError" in event["args"]["error"]
+
+    def test_clear_resets_spans_and_origin(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        assert tracer.spans == []
+        with tracer.span("b") as span:
+            pass
+        assert span.start >= 0.0
